@@ -1,0 +1,41 @@
+"""Shared table-printing helpers for the experiment benches.
+
+Each bench regenerates one of the paper's results as a printed table
+(the 2-page PhD-forum paper reports results in prose; DESIGN.md §4 maps
+each claim to an experiment id E1..E10).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: List[Sequence], widths=None) -> None:
+    """Print an aligned experiment table."""
+    if widths is None:
+        widths = []
+        for i, h in enumerate(headers):
+            cell_width = max([len(str(r[i])) for r in rows] + [len(h)])
+            widths.append(cell_width + 2)
+    print(f"\n=== {title} ===")
+    print("".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("".join(str(c).rjust(w) for c, w in zip(row, widths)))
+
+
+def fmt(value, nd=1) -> str:
+    """Format a number compactly."""
+    if isinstance(value, float):
+        return f"{value:.{nd}f}"
+    return str(value)
+
+
+def pct(value) -> str:
+    return f"{value * 100:.1f}%"
+
+
+def mib(nbytes) -> str:
+    return f"{nbytes / 2**20:.1f}"

@@ -1,0 +1,107 @@
+"""E4 — runtime cluster resizing (paper §II).
+
+Paper claim: "We also exploited the extension capabilities of Hadoop to
+dynamically adjust the virtual cluster size.  This advocates that
+execution frameworks supporting resource addition and removal at run
+time are suitable to take advantage of the dynamic nature of
+distributed cloud computing infrastructure."
+
+Expected shape: nodes added mid-job cut the makespan (close to the
+work-conservation bound); nodes removed mid-job cost re-executed tasks
+but the job still completes correctly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hypervisor import MemoryImage, VirtualMachine
+from repro.mapreduce import JobTracker
+from repro.testbeds import two_cloud_testbed
+from repro.workloads import blast_job
+
+from _tables import print_table
+
+
+def run(n_start: int, grow_by: int = 0, grow_at: float = 120.0,
+        shrink_by: int = 0, shrink_at: float = 120.0,
+        graceful: bool = True, seed: int = 5):
+    tb = two_cloud_testbed(memory_pages=2048, image_blocks=8192)
+    sim = tb.sim
+    cluster = sim.run(until=tb.federation.create_virtual_cluster(
+        tb.image_name, n_start))
+    jt = JobTracker(sim, tb.scheduler, rng=np.random.default_rng(0))
+    for vm in cluster:
+        jt.add_tracker(vm)
+    job = blast_job(np.random.default_rng(seed), n_query_batches=64,
+                    mean_batch_seconds=40, db_shard_bytes=4 * 2**20)
+    proc = jt.submit(job)
+
+    if grow_by:
+        def grower(sim):
+            yield sim.timeout(grow_at)
+            new = yield cluster.grow(grow_by)
+            for vm in new:
+                jt.add_tracker(vm)
+        sim.process(grower(sim))
+    if shrink_by:
+        def shrinker(sim):
+            yield sim.timeout(shrink_at)
+            victims = cluster.workers[:shrink_by]
+            drains = [jt.remove_tracker(vm, graceful=graceful)
+                      for vm in victims]
+            yield sim.all_of(drains)  # let in-flight tasks finish
+            tb.federation.shrink_cluster(cluster, victims)
+        sim.process(shrinker(sim))
+
+    result = sim.run(until=proc)
+    return result
+
+
+def test_e4_growth_shortens_makespan(benchmark):
+    static = run(8)
+    grown = benchmark.pedantic(
+        run, kwargs={"n_start": 8, "grow_by": 8}, rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "static": round(static.makespan, 1),
+        "grown": round(grown.makespan, 1),
+    })
+    assert grown.makespan < static.makespan * 0.85
+    # Never better than doubling capacity from t=grow_at onward.
+    assert grown.makespan > static.makespan / 2.2
+
+
+def test_e4_shrink_still_completes(benchmark):
+    shrunk = benchmark.pedantic(
+        run, kwargs={"n_start": 12, "shrink_by": 4, "graceful": False},
+        rounds=1, iterations=1)
+    assert shrunk.map_attempts >= 64
+    assert shrunk.reexecuted_tasks >= 0
+    static = run(12)
+    assert shrunk.makespan >= static.makespan * 0.95
+
+
+def test_e4_summary_table(benchmark):
+    def sweep():
+        return {
+            "8 static": run(8),
+            "8 -> 16 at t=120s": run(8, grow_by=8),
+            "16 static": run(16),
+            "12 static": run(12),
+            "12 -> 8 at t=120s (graceful)": run(12, shrink_by=4),
+            "12 -> 8 at t=120s (forced)": run(12, shrink_by=4,
+                                              graceful=False),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        (name, f"{r.makespan:.0f}", r.map_attempts, r.reexecuted_tasks)
+        for name, r in results.items()
+    ]
+    print_table(
+        "E4: elastic Hadoop — resizing the virtual cluster mid-job "
+        "(BLAST, 64 batches x ~40s)",
+        ["scenario", "makespan(s)", "map_attempts", "reexecuted"],
+        rows,
+    )
+    print("shape: growth approaches the bigger static cluster; removal "
+          "costs only re-executed tasks")

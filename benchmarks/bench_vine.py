@@ -1,0 +1,185 @@
+"""E6 — network transparency of inter-cloud live migration (paper §III-B).
+
+Paper claim: "We modified ViNe to reconfigure itself when virtual
+machine mobility was detected, so that communications can remain
+uninterrupted.  Our approach is based on standard networking techniques
+such as ARP proxy and gratuitous ARP messages."
+
+The bench migrates a VM holding open TCP connections between clouds:
+
+* plain IP — the VM must be renumbered, every connection dies;
+* ViNe without reconfiguration — the overlay address survives but
+  routing is stale forever, connections time out;
+* ViNe with reconfiguration — connections survive with a stall equal to
+  detection + control-plane convergence.
+
+Also sweeps federation size: reconfiguration latency is bounded by the
+farthest router's control latency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hypervisor import (
+    LiveMigrator,
+    MemoryImage,
+    VirtualMachine,
+)
+from repro.network import Address, Connection, ConnectionBroken, \
+    PlainIPResolver
+from repro.testbeds import SiteSpec, sky_testbed
+from repro.vine import MigrationReconfigurator
+
+from _tables import print_table
+
+
+def build(n_sites=3):
+    tb = sky_testbed(
+        sites=[SiteSpec(f"c{i}", region="eu" if i % 2 else "us")
+               for i in range(n_sites)],
+        memory_pages=2048, image_blocks=4096,
+    )
+    return tb
+
+
+def make_vm(tb, site, name):
+    vm = VirtualMachine(tb.sim, name, MemoryImage(2048))
+    tb.clouds[site].hosts[0].place(vm)
+    vm.boot()
+    return vm
+
+
+def migrate_with(mode: str, n_sites: int = 3):
+    """Returns (survived, stall_seconds, reconfig_latency)."""
+    tb = build(n_sites)
+    sim, fed = tb.sim, tb.federation
+    vm_a = make_vm(tb, "c0", "peer")
+    vm_b = make_vm(tb, "c1", "mobile")
+    if mode == "plain":
+        resolver = PlainIPResolver(tb.topology)
+        vm_a.address = Address("c0", 1)
+        vm_b.address = Address("c1", 1)
+    else:
+        resolver = fed.overlay
+        fed.overlay.register(vm_a)
+        fed.overlay.register(vm_b)
+    fed.reconfigurator.enabled = (mode == "vine-reconfig")
+    migrator = LiveMigrator(sim, tb.scheduler)
+    conn = Connection(sim, tb.scheduler, resolver, vm_a, vm_b,
+                      rto_budget=15.0, retry_interval=0.05)
+    outcome = {}
+
+    def app(sim):
+        yield conn.send(1e5)
+        old_site = vm_b.site
+        yield migrator.migrate(vm_b, tb.clouds["c2"].hosts[0])
+        if mode == "plain":
+            # Plain IP: the guest must be renumbered at the new site.
+            vm_b.address = Address("c2", 1)
+        else:
+            fed.reconfigurator.vm_migrated(vm_b, old_site=old_site)
+        try:
+            yield conn.send(1e5)
+            outcome["survived"] = True
+        except ConnectionBroken:
+            outcome["survived"] = False
+
+    sim.process(app(sim))
+    sim.run()
+    latency = (fed.reconfigurator.records[-1].reconfiguration_latency
+               if fed.reconfigurator.records else None)
+    return outcome["survived"], conn.max_stall, latency
+
+
+def migrate_far(far_latency: float):
+    """Reconfiguration with one router behind a high-latency link."""
+    from repro.hypervisor import PhysicalHost as Host
+    from repro.network import FlowScheduler, Site, Topology
+    from repro.simkernel import Simulator
+    from repro.vine import ViNeOverlay
+
+    sim = Simulator()
+    topo = Topology()
+    for name in ("c0", "c1", "c2", "far"):
+        topo.add_site(Site(name))
+    topo.connect("c0", "c1", bandwidth=1e8, latency=0.02)
+    topo.connect("c1", "c2", bandwidth=1e8, latency=0.02)
+    topo.connect("c0", "c2", bandwidth=1e8, latency=0.02)
+    for name in ("c0", "c1", "c2"):
+        topo.connect(name, "far", bandwidth=1e8, latency=far_latency)
+    sched = FlowScheduler(sim, topo)
+    hosts = {s: Host(f"h-{s}", s, cores=16)
+             for s in ("c0", "c1", "c2", "far")}
+    overlay = ViNeOverlay(sim, topo, ["c0", "c1", "c2", "far"])
+    vm = VirtualMachine(sim, "mobile", MemoryImage(256))
+    hosts["c1"].place(vm)
+    vm.boot()
+    overlay.register(vm)
+    recon = MigrationReconfigurator(sim, overlay)
+    hosts["c1"].evict(vm)
+    hosts["c2"].place(vm)
+    record = sim.run(until=recon.vm_migrated(vm, old_site="c1"))
+    return None, None, record.reconfiguration_latency
+
+
+def test_e6_plain_ip_breaks(benchmark):
+    survived, _, _ = benchmark.pedantic(
+        migrate_with, args=("plain",), rounds=1, iterations=1)
+    assert not survived
+
+
+def test_e6_stale_overlay_breaks(benchmark):
+    survived, _, _ = benchmark.pedantic(
+        migrate_with, args=("vine-stale",), rounds=1, iterations=1)
+    assert not survived
+
+
+def test_e6_reconfigured_overlay_survives(benchmark):
+    survived, stall, latency = benchmark.pedantic(
+        migrate_with, args=("vine-reconfig",), rounds=1, iterations=1)
+    assert survived
+    assert latency is not None and latency < 1.0
+    assert stall < 2.0
+    benchmark.extra_info.update({
+        "stall_ms": round(stall * 1000, 1),
+        "reconfig_latency_ms": round(latency * 1000, 1),
+    })
+
+
+def test_e6_summary_table(benchmark):
+    def sweep():
+        rows = []
+        for mode, label in (
+            ("plain", "plain IP (renumbered)"),
+            ("vine-stale", "ViNe, no reconfiguration"),
+            ("vine-reconfig", "ViNe + reconfiguration"),
+        ):
+            survived, stall, latency = migrate_with(mode)
+            rows.append((label, survived, stall, latency))
+        scale = []
+        for n_sites in (3, 6, 12):
+            _, _, latency = migrate_with("vine-reconfig", n_sites)
+            scale.append((f"{n_sites} sites", latency))
+        # Convergence is bounded by the farthest router's control
+        # latency: stretch the farthest link and watch it track.
+        for far_ms in (50, 150, 300):
+            _, _, latency = migrate_far(far_latency=far_ms / 1000.0)
+            scale.append((f"farthest link {far_ms}ms", latency))
+        return rows, scale
+
+    rows, scale = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "E6: TCP across an inter-cloud live migration",
+        ["mechanism", "conn survives", "stall(ms)", "reconfig(ms)"],
+        [(label, "yes" if s else "NO",
+          f"{stall * 1000:.0f}" if s else "-",
+          f"{lat * 1000:.0f}" if lat else "-")
+         for label, s, stall, lat in rows],
+    )
+    print_table(
+        "E6b: reconfiguration convergence vs federation size",
+        ["sites", "reconfig latency (ms)"],
+        [(n, f"{lat * 1000:.0f}") for n, lat in scale],
+    )
+    print("shape: only the reconfigured overlay keeps connections alive; "
+          "convergence is bounded by the farthest control link")

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Shrinker: live-migrate a virtual cluster across a WAN (paper §III-A).
+
+Migrates an 8-VM web-server cluster from Rennes to Chicago over a
+1 Gbit/s link (the Grid'5000 regime of the paper's experiments), twice:
+once with the raw KVM-style pre-copy protocol, once with Shrinker's
+content-based addressing (one shared destination registry, so inter-VM
+duplicates cross the WAN once).  Prints aggregate migration time, wire
+bytes and downtime.  Note the paper's asymmetry reproduced here: the
+*time* saving trails the *bandwidth* saving because hashing pages costs
+CPU in the migration path.
+
+Run:  python examples/shrinker_wan_migration.py
+"""
+
+import numpy as np
+
+from repro.hypervisor import (
+    Dirtier,
+    LiveMigrator,
+    MigrationConfig,
+    VirtualMachine,
+)
+from repro.network.units import Mbit
+from repro.shrinker import (
+    ClusterMigrationCoordinator,
+    RegistryDirectory,
+    shrinker_codec_factory,
+)
+from repro.testbeds import SiteSpec, sky_testbed
+from repro.workloads import web_server
+
+CLUSTER_SIZE = 8
+PAGES = 16384  # 64 MiB per VM
+
+
+def migrate_cluster(use_shrinker: bool):
+    tb = sky_testbed(
+        sites=[SiteSpec("rennes", region="eu"),
+               SiteSpec("chicago", region="us")],
+        wan_bandwidth=1000 * Mbit,
+        transatlantic_bandwidth=1000 * Mbit,
+    )
+    sim = tb.sim
+    profile = web_server()
+    rng = np.random.default_rng(7)
+
+    vms, dst_hosts = [], []
+    for i in range(CLUSTER_SIZE):
+        vm = VirtualMachine(sim, f"web{i}",
+                            profile.generate_memory(rng, PAGES))
+        tb.clouds["rennes"].hosts[i % 8].place(vm)
+        vm.boot()
+        Dirtier(sim, vm, profile, rng)
+        vms.append(vm)
+        dst_hosts.append(tb.clouds["chicago"].hosts[i % 8])
+
+    if use_shrinker:
+        codec_factory = shrinker_codec_factory(RegistryDirectory())
+        migrator = LiveMigrator(sim, tb.scheduler, codec_factory)
+    else:
+        migrator = LiveMigrator(sim, tb.scheduler)
+    coordinator = ClusterMigrationCoordinator(sim, migrator)
+    stats = sim.run(until=coordinator.migrate_cluster(
+        vms, dst_hosts, MigrationConfig()))
+    for vm in vms:
+        vm.stop()
+    return stats
+
+
+def main():
+    raw = migrate_cluster(use_shrinker=False)
+    shr = migrate_cluster(use_shrinker=True)
+
+    print(f"{CLUSTER_SIZE}-VM web-server cluster, 64 MiB RAM each, "
+          f"1 Gbit/s WAN\n")
+    print(f"{'':24}{'baseline':>14}{'shrinker':>14}")
+    print(f"{'migration time (s)':24}{raw.duration:>14.1f}"
+          f"{shr.duration:>14.1f}")
+    print(f"{'WAN bytes (MiB)':24}{raw.total_wire_bytes / 2**20:>14.1f}"
+          f"{shr.total_wire_bytes / 2**20:>14.1f}")
+    print(f"{'max downtime (ms)':24}{raw.max_downtime * 1000:>14.1f}"
+          f"{shr.max_downtime * 1000:>14.1f}")
+    time_saving = 1 - shr.duration / raw.duration
+    bw_saving = 1 - shr.total_wire_bytes / raw.total_wire_bytes
+    print(f"\nShrinker saved {bw_saving:.0%} of WAN traffic and "
+          f"{time_saving:.0%} of migration time")
+    print("(paper: 30-40% bandwidth, ~20% time for single VMs; a whole"
+          " cluster's\n concurrent flows make the WAN the bottleneck, so "
+          "time tracks bandwidth here;\n benchmarks/bench_shrinker.py "
+          "sweeps both regimes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+``pip install -e .`` uses the pyproject/PEP 660 path on modern
+toolchains; this shim keeps ``python setup.py develop`` working on
+offline machines whose pip/setuptools lack the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,112 @@
+"""repro — reproduction of *Building Dynamic Computing Infrastructures
+over Distributed Clouds* (Pierre Riteau, IPDPS 2011 PhD Forum).
+
+The library implements, over a self-contained discrete-event simulated
+substrate, every system the paper describes:
+
+* :mod:`repro.simkernel` — the discrete-event kernel;
+* :mod:`repro.network` — WAN/LAN flow model, TCP, NAT, billing;
+* :mod:`repro.hypervisor` — VM content model and pre-copy live migration;
+* :mod:`repro.shrinker` — deduplicating WAN migration (§III-A);
+* :mod:`repro.vine` — the ViNe overlay and migration reconfiguration (§III-B);
+* :mod:`repro.cloud` — the Nimbus-like IaaS toolkit, fast image
+  propagation (§II) and the spot market;
+* :mod:`repro.sky` — multi-cloud federation, cloud-API migration and
+  migratable spot instances (§II, §IV);
+* :mod:`repro.mapreduce` — the elastic Hadoop stand-in (§II);
+* :mod:`repro.patterns` — communication-pattern detection (§III-C);
+* :mod:`repro.autonomic` — communication-aware adaptation (§III-C);
+* :mod:`repro.emr` — the Elastic MapReduce service (§IV);
+* :mod:`repro.workloads` — memory profiles, BLAST, price traces,
+  communication patterns.
+
+See ``examples/quickstart.py`` for a complete multi-cloud scenario.
+"""
+
+from .simkernel import Interrupt, Simulator
+from .network import (
+    BillingMeter,
+    Connection,
+    FlowScheduler,
+    Site,
+    Topology,
+    gbit_per_s,
+    mbit_per_s,
+)
+from .hypervisor import (
+    LiveMigrator,
+    MemoryImage,
+    MigrationConfig,
+    PhysicalHost,
+    VirtualMachine,
+)
+from .shrinker import (
+    ClusterMigrationCoordinator,
+    ContentRegistry,
+    RegistryDirectory,
+    ShrinkerCodec,
+    shrinker_codec_factory,
+)
+from .vine import MigrationReconfigurator, ViNeOverlay
+from .cloud import Cloud, InstancePricing, SpotMarket, make_image
+from .sky import (
+    Balanced,
+    Federation,
+    MigratableSpotManager,
+    SingleCloud,
+    SkyMigrationService,
+)
+from .mapreduce import ElasticCluster, JobTracker, MapReduceJob
+from .patterns import GroundTruthRecorder, HypervisorSniffer, TrafficMatrix
+from .autonomic import AdaptationEngine, CommunicationAwarePlanner
+from .emr import DeadlineScalePolicy, ElasticMapReduceService
+from .framework import DynamicInfrastructure
+from .metrics import MetricsRecorder, TimeSeries
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptationEngine",
+    "Balanced",
+    "BillingMeter",
+    "Cloud",
+    "ClusterMigrationCoordinator",
+    "CommunicationAwarePlanner",
+    "Connection",
+    "ContentRegistry",
+    "DeadlineScalePolicy",
+    "DynamicInfrastructure",
+    "ElasticCluster",
+    "ElasticMapReduceService",
+    "Federation",
+    "FlowScheduler",
+    "GroundTruthRecorder",
+    "HypervisorSniffer",
+    "InstancePricing",
+    "Interrupt",
+    "JobTracker",
+    "LiveMigrator",
+    "MapReduceJob",
+    "MemoryImage",
+    "MetricsRecorder",
+    "MigratableSpotManager",
+    "MigrationConfig",
+    "MigrationReconfigurator",
+    "PhysicalHost",
+    "RegistryDirectory",
+    "ShrinkerCodec",
+    "SingleCloud",
+    "Site",
+    "Simulator",
+    "TimeSeries",
+    "SkyMigrationService",
+    "SpotMarket",
+    "Topology",
+    "TrafficMatrix",
+    "ViNeOverlay",
+    "VirtualMachine",
+    "gbit_per_s",
+    "make_image",
+    "mbit_per_s",
+    "shrinker_codec_factory",
+]

@@ -1,0 +1,41 @@
+"""Autonomic adaptation of distributed applications in cloud federations
+(paper §III-C): monitors -> communication-aware planner -> live
+relocation through the sky migration service.
+"""
+
+from .engine import AdaptationAction, AdaptationEngine, AdaptationReport
+from .monitor import (
+    AdaptationTrigger,
+    AvailabilityMonitor,
+    DeadlineMonitor,
+    PriceMonitor,
+    TriggerBus,
+)
+from .policy import AutonomicController, CostAwarePolicy
+from .planner import (
+    Assignment,
+    CommunicationAwarePlanner,
+    PlanningError,
+    cross_traffic,
+    random_assignment,
+    round_robin_assignment,
+)
+
+__all__ = [
+    "AdaptationAction",
+    "AdaptationEngine",
+    "AdaptationReport",
+    "AdaptationTrigger",
+    "Assignment",
+    "AutonomicController",
+    "AvailabilityMonitor",
+    "CostAwarePolicy",
+    "CommunicationAwarePlanner",
+    "DeadlineMonitor",
+    "PlanningError",
+    "PriceMonitor",
+    "TriggerBus",
+    "cross_traffic",
+    "random_assignment",
+    "round_robin_assignment",
+]

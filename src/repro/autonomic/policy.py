@@ -1,0 +1,101 @@
+"""Adaptation policies and the closed-loop controller (paper §III-C).
+
+The paper lists three reasons to relocate at runtime — resource
+availability, resource cost, application requirements.
+:class:`CostAwarePolicy` handles the cost axis: when a trigger fires, it
+restricts the planner to clouds whose current price sits within a band
+of the cheapest, so the communication-aware plan simultaneously
+evacuates expensive clouds.  :class:`AutonomicController` closes the
+loop: triggers from the :class:`~repro.autonomic.monitor.TriggerBus`
+drive fresh adaptations of a watched cluster using the latest detected
+traffic matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..patterns.matrix import TrafficMatrix
+from ..sky.federation import Federation
+from .engine import AdaptationEngine
+from .monitor import AdaptationTrigger, TriggerBus
+
+
+class CostAwarePolicy:
+    """Restrict placement to clouds priced within ``band`` of the best.
+
+    ``price_of`` maps a cloud to its *current* effective price; by
+    default the on-demand card price, but a spot market's live price
+    can be plugged in.
+    """
+
+    def __init__(self, band: float = 0.25,
+                 price_of: Optional[Callable] = None):
+        if band < 0:
+            raise ValueError("band must be >= 0")
+        self.band = band
+        self.price_of = price_of or (
+            lambda cloud: cloud.pricing.on_demand_hourly
+        )
+
+    def eligible_capacities(self, federation: Federation,
+                            cluster_size: int) -> Dict[str, int]:
+        """Capacity map for the planner, excluding over-priced clouds.
+
+        Falls back to every cloud when the affordable ones cannot hold
+        the cluster (availability beats cost).
+        """
+        prices = {name: self.price_of(cloud)
+                  for name, cloud in federation.clouds.items()}
+        cutoff = min(prices.values()) * (1.0 + self.band)
+        caps: Dict[str, int] = {}
+        for name, cloud in federation.clouds.items():
+            if prices[name] <= cutoff:
+                caps[name] = cloud.capacity() + len(cloud.instances)
+        if sum(caps.values()) < cluster_size:
+            for name, cloud in federation.clouds.items():
+                caps.setdefault(
+                    name, cloud.capacity() + len(cloud.instances))
+        return caps
+
+
+class AutonomicController:
+    """Closes the monitoring -> planning -> migration loop.
+
+    Watches one set of VMs; every trigger from the bus re-plans with the
+    current traffic matrix (supplied by ``matrix_provider``, typically a
+    live sniffer's matrix) and executes the relocations.  Price triggers
+    evacuate over-priced clouds via :class:`CostAwarePolicy` (forced
+    even if the communication cut does not improve).
+    """
+
+    def __init__(self, engine: AdaptationEngine, bus: TriggerBus,
+                 vms: Sequence, matrix_provider: Callable[[], TrafficMatrix],
+                 cost_policy: Optional[CostAwarePolicy] = None,
+                 cooldown: float = 300.0):
+        self.engine = engine
+        self.bus = bus
+        self.vms = list(vms)
+        self.matrix_provider = matrix_provider
+        self.cost_policy = cost_policy or CostAwarePolicy()
+        #: Minimum spacing between adaptations (migration storms hurt).
+        self.cooldown = cooldown
+        self._last_adaptation = -float("inf")
+        self.adaptations: List = []
+        bus.subscribe(self._on_trigger)
+
+    def _on_trigger(self, trigger: AdaptationTrigger) -> None:
+        sim = self.engine.federation.sim
+        if sim.now - self._last_adaptation < self.cooldown:
+            return
+        self._last_adaptation = sim.now
+        matrix = self.matrix_provider()
+        capacities = None
+        force = False
+        if trigger.kind == "price":
+            capacities = self.cost_policy.eligible_capacities(
+                self.engine.federation, len(self.vms))
+            force = True
+        proc = self.engine.adapt(self.vms, matrix, trigger=trigger,
+                                 capacities=capacities, force=force)
+        self.adaptations.append(proc)

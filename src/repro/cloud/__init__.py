@@ -1,0 +1,46 @@
+"""The IaaS cloud toolkit (Nimbus stand-in): provisioning, images,
+propagation strategies, contextualization, pricing, and the spot market.
+"""
+
+from .contextualization import (
+    CONTEXT_MESSAGE_BYTES,
+    ContextBroker,
+    ContextualizationResult,
+)
+from .images import ImageError, ImageRepository, VMImage, make_image
+from .pricing import InstancePricing, UsageMeter
+from .propagation import (
+    BroadcastChainPropagation,
+    CowPropagation,
+    DeploymentStats,
+    HostImageCache,
+    STRATEGIES,
+    UnicastPropagation,
+)
+from .provider import Cloud, CloudError, InstanceSpec, QuotaExceeded
+from .spot import SpotInstance, SpotMarket, SpotState
+
+__all__ = [
+    "BroadcastChainPropagation",
+    "CONTEXT_MESSAGE_BYTES",
+    "Cloud",
+    "CloudError",
+    "ContextBroker",
+    "ContextualizationResult",
+    "CowPropagation",
+    "DeploymentStats",
+    "HostImageCache",
+    "ImageError",
+    "ImageRepository",
+    "InstancePricing",
+    "InstanceSpec",
+    "QuotaExceeded",
+    "STRATEGIES",
+    "SpotInstance",
+    "SpotMarket",
+    "SpotState",
+    "UnicastPropagation",
+    "UsageMeter",
+    "VMImage",
+    "make_image",
+]

@@ -1,0 +1,77 @@
+"""VM images and per-cloud image repositories."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..hypervisor.disk import BLOCK_SIZE, DiskImage
+
+
+class ImageError(Exception):
+    """Unknown image, duplicate registration, ..."""
+
+
+class VMImage:
+    """An image template stored in a cloud's repository.
+
+    Holds the master :class:`DiskImage` plus the metadata the
+    provisioning path needs (which OS content pool it derives from, how
+    much RAM its instances get by default).
+    """
+
+    def __init__(self, name: str, disk: DiskImage, os_pool: str = "debian-base",
+                 default_memory_pages: int = 65536):
+        self.name = name
+        self.disk = disk
+        self.os_pool = os_pool
+        self.default_memory_pages = default_memory_pages
+
+    @property
+    def size_bytes(self) -> int:
+        return self.disk.size_bytes
+
+    def __repr__(self):
+        return f"<VMImage {self.name!r} {self.size_bytes / 2**30:.2f} GiB>"
+
+
+class ImageRepository:
+    """The image store of one cloud (one per site)."""
+
+    def __init__(self, site: str):
+        self.site = site
+        self._images: Dict[str, VMImage] = {}
+
+    def register(self, image: VMImage) -> VMImage:
+        if image.name in self._images:
+            raise ImageError(f"image {image.name!r} already registered")
+        self._images[image.name] = image
+        return image
+
+    def get(self, name: str) -> VMImage:
+        try:
+            return self._images[name]
+        except KeyError:
+            raise ImageError(f"no image {name!r} at {self.site!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._images
+
+    def names(self):
+        return list(self._images)
+
+
+def make_image(name: str, rng: np.random.Generator,
+               n_blocks: int = 262144, os_pool: str = "debian-base",
+               shared_fraction: float = 0.75,
+               default_memory_pages: int = 65536) -> VMImage:
+    """Convenience: build an image with realistic content redundancy
+    (defaults: a 1 GiB disk, 256 MiB instances)."""
+    from ..workloads.memory_profiles import generate_disk_fingerprints
+
+    fps = generate_disk_fingerprints(rng, n_blocks, os_pool=os_pool,
+                                     shared_fraction=shared_fraction)
+    disk = DiskImage(f"{name}-master", n_blocks, BLOCK_SIZE, fingerprints=fps)
+    return VMImage(name, disk, os_pool=os_pool,
+                   default_memory_pages=default_memory_pages)

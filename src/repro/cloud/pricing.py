@@ -1,0 +1,56 @@
+"""Instance pricing: on-demand rates and usage-based cost accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class InstancePricing:
+    """Per-cloud price card (the paper envisions these becoming dynamic)."""
+
+    on_demand_hourly: float = 0.10
+    #: Reference spot price around which the market trace fluctuates.
+    spot_base_hourly: float = 0.03
+
+
+class UsageMeter:
+    """Accumulates instance-hours and converts them to cost."""
+
+    def __init__(self, pricing: InstancePricing):
+        self.pricing = pricing
+        self._open: Dict[str, Tuple[float, float]] = {}  # vm -> (start, rate)
+        self._closed: List[Tuple[str, float, float, float]] = []
+
+    def start(self, vm_name: str, at: float, hourly_rate: float = None) -> None:
+        if vm_name in self._open:
+            raise ValueError(f"{vm_name!r} is already metered")
+        rate = (self.pricing.on_demand_hourly
+                if hourly_rate is None else hourly_rate)
+        self._open[vm_name] = (at, rate)
+
+    def stop(self, vm_name: str, at: float) -> float:
+        """Close the meter; returns the cost of this instance's run."""
+        try:
+            start, rate = self._open.pop(vm_name)
+        except KeyError:
+            raise ValueError(f"{vm_name!r} is not metered") from None
+        if at < start:
+            raise ValueError("stop before start")
+        cost = (at - start) / 3600.0 * rate
+        self._closed.append((vm_name, start, at, cost))
+        return cost
+
+    def cost(self, now: float) -> float:
+        """Total cost including still-running instances up to ``now``."""
+        closed = sum(c for _, _, _, c in self._closed)
+        running = sum(
+            (now - start) / 3600.0 * rate
+            for start, rate in self._open.values()
+        )
+        return closed + running
+
+    @property
+    def running_count(self) -> int:
+        return len(self._open)

@@ -1,0 +1,149 @@
+"""The spot market: bid-priced instances and reclamation.
+
+Classic spot semantics (the paper's §IV baseline): an instance runs
+while the market price stays at or below its bid; when the price rises
+above it, the provider reclaims the capacity and **kills** the instance,
+losing its in-progress work.
+
+The paper proposes *migratable spot instances* instead: on reclamation
+the instance live-migrates to another cloud.  The market supports this
+through a pluggable ``reclaim_handler``: return True to signal the VM
+was rescued (moved away) rather than killed.  The handler itself —
+which needs the federation and the Shrinker migrator — lives in
+:mod:`repro.sky.spot_manager` to keep layering clean.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, List, Optional
+
+from ..hypervisor.vm import VirtualMachine
+from ..simkernel import Event, Simulator
+from ..workloads.traces import SpotPriceProcess
+from .provider import Cloud
+
+
+class SpotState(Enum):
+    RUNNING = "running"
+    RECLAIMED = "reclaimed"  # killed by the provider
+    RESCUED = "rescued"  # migrated away before the kill
+    CLOSED = "closed"  # terminated by the customer
+
+
+@dataclass
+class SpotInstance:
+    """One spot-priced instance."""
+
+    vm: VirtualMachine
+    bid: float
+    cloud: Cloud
+    state: SpotState = SpotState.RUNNING
+    launched_at: float = 0.0
+    ended_at: Optional[float] = None
+    #: Fires when the provider reclaims (value: "reclaimed"/"rescued").
+    reclaim_event: Optional[Event] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.state is SpotState.RUNNING
+
+
+class SpotMarket:
+    """Runs one cloud's spot market over a price process."""
+
+    _ids = itertools.count()
+
+    def __init__(self, sim: Simulator, cloud: Cloud,
+                 prices: SpotPriceProcess,
+                 reclaim_grace: float = 120.0):
+        self.sim = sim
+        self.cloud = cloud
+        self.prices = prices
+        #: Warning window between the price crossing and the kill
+        #: (EC2 gives two minutes) — the window a migratable spot
+        #: instance uses to escape.
+        self.reclaim_grace = reclaim_grace
+        self.instances: List[SpotInstance] = []
+        #: ``handler(instance) -> process`` returning True if the VM was
+        #: moved to safety during the grace window.
+        self.reclaim_handler: Optional[Callable] = None
+        prices.subscribe(self._on_price_change)
+
+    @property
+    def current_price(self) -> float:
+        return self.prices.current_price
+
+    # -- customer API ---------------------------------------------------
+
+    def request_spot(self, image_name: str, bid: float,
+                     memory_factory=None, **run_kwargs):
+        """Launch one spot instance; yields a :class:`SpotInstance`.
+
+        The request is rejected immediately if the bid is below the
+        current price (matching provider behavior).
+        """
+        if bid <= 0:
+            raise ValueError("bid must be positive")
+        if bid < self.current_price:
+            raise ValueError(
+                f"bid {bid} below current price {self.current_price}"
+            )
+        return self.sim.process(
+            self._launch(image_name, bid, memory_factory, run_kwargs),
+            name="spot-request",
+        )
+
+    def _launch(self, image_name, bid, memory_factory, run_kwargs):
+        vms = yield self.cloud.run_instances(
+            image_name, 1, memory_factory=memory_factory, **run_kwargs
+        )
+        inst = SpotInstance(vm=vms[0], bid=bid, cloud=self.cloud,
+                            launched_at=self.sim.now,
+                            reclaim_event=self.sim.event())
+        self.instances.append(inst)
+        return inst
+
+    def close(self, inst: SpotInstance) -> None:
+        """Customer-initiated termination."""
+        if inst.state is SpotState.RUNNING:
+            inst.state = SpotState.CLOSED
+            inst.ended_at = self.sim.now
+            self.cloud.terminate(inst.vm)
+
+    # -- reclamation -----------------------------------------------------
+
+    def _on_price_change(self, price: float) -> None:
+        for inst in list(self.instances):
+            if inst.alive and price > inst.bid:
+                self.sim.process(self._reclaim(inst),
+                                 name=f"reclaim-{inst.vm.name}")
+
+    def _reclaim(self, inst: SpotInstance):
+        # Grace window (the provider's reclamation warning): the paper's
+        # migratable spot instance escapes during it.
+        deadline = self.sim.now + self.reclaim_grace
+        rescued = False
+        if self.reclaim_handler is not None:
+            rescued = yield self.reclaim_handler(inst)
+        remaining = deadline - self.sim.now
+        if remaining > 0:
+            yield self.sim.timeout(remaining)
+        if not inst.alive:
+            return  # closed during the grace window
+        # Re-check: the price may have dropped back during the grace.
+        if not rescued and self.current_price <= inst.bid:
+            return
+        inst.ended_at = self.sim.now
+        if rescued:
+            inst.state = SpotState.RESCUED
+            # The VM left this cloud alive; just stop billing it here.
+            if inst.vm in self.cloud.instances:
+                self.cloud.release(inst.vm)
+            inst.reclaim_event.succeed("rescued")
+        else:
+            inst.state = SpotState.RECLAIMED
+            self.cloud.terminate(inst.vm)
+            inst.reclaim_event.succeed("reclaimed")

@@ -1,0 +1,19 @@
+"""Elastic MapReduce over distributed clouds (paper §IV): managed
+clusters, deadline-driven scaling, cost accounting.
+"""
+
+from .policies import (
+    DeadlineScalePolicy,
+    StaticPolicy,
+    estimate_remaining_seconds,
+)
+from .service import ElasticMapReduceService, EMRCluster, EMRJobReport
+
+__all__ = [
+    "DeadlineScalePolicy",
+    "EMRCluster",
+    "EMRJobReport",
+    "ElasticMapReduceService",
+    "StaticPolicy",
+    "estimate_remaining_seconds",
+]

@@ -1,0 +1,118 @@
+"""Scaling policies for the Elastic MapReduce service.
+
+The paper (§IV): the service "will support dynamic addition and removal
+of virtual nodes as well as policies for resource selection.  We also
+plan to study how job deadlines can be included in this model to perform
+intelligent resource selection."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..mapreduce.engine import JobTracker
+from ..mapreduce.job import MapReduceJob
+
+
+def estimate_remaining_seconds(jt: JobTracker, job: MapReduceJob) -> float:
+    """Projected seconds to job completion at the current slot count.
+
+    Remaining CPU work (pending tasks in full, running tasks at half —
+    the expected residual of an in-flight task) divided by total slots.
+    """
+    run = jt.current
+    if run is None or run.job is not job or run.finished:
+        return 0.0
+    remaining = 0.0
+    for task in run.pending_maps:
+        remaining += job.map_cpu[task.index]
+    for task in run.pending_reduces:
+        remaining += job.reduce_cpu[task.index]
+    for task in run.running:
+        cpu = (job.map_cpu if task.kind.value == "map"
+               else job.reduce_cpu)[task.index]
+        remaining += cpu / 2.0
+    if remaining == 0.0:
+        return 0.0
+    slots = jt.total_slots
+    if slots == 0:
+        return float("inf")
+    return remaining / slots
+
+
+@dataclass
+class StaticPolicy:
+    """No scaling: run with whatever the cluster has."""
+
+    def decide(self, jt: JobTracker, job: MapReduceJob,
+               deadline: Optional[float], now: float) -> int:
+        return 0
+
+
+@dataclass
+class DeadlineScalePolicy:
+    """Scale the cluster to track a deadline: grow when the projection
+    misses it, shrink back when comfortably ahead.
+
+    Parameters
+    ----------
+    check_interval:
+        Seconds between projections.
+    slack:
+        Safety margin: target finishing ``slack`` fraction early.
+    max_extra_nodes:
+        Upper bound on nodes this policy may add in total.
+    step:
+        Nodes added/removed per decision (provisioning has fixed costs,
+        so batches beat one-at-a-time).
+    scale_in:
+        Also release scale-out nodes mid-job once the projection shows
+        the smaller cluster still meets the deadline comfortably.
+    scale_in_margin:
+        Shrink only if the post-shrink projection uses at most this
+        fraction of the remaining budget.
+    """
+
+    check_interval: float = 60.0
+    slack: float = 0.15
+    max_extra_nodes: int = 32
+    step: int = 2
+    scale_in: bool = False
+    scale_in_margin: float = 0.6
+
+    def decide(self, jt: JobTracker, job: MapReduceJob,
+               deadline: Optional[float], now: float) -> int:
+        """Nodes to add (positive), remove (negative), or 0."""
+        if deadline is None:
+            return 0
+        remaining = estimate_remaining_seconds(jt, job)
+        if remaining == 0.0:
+            return 0
+        # More slots cannot help once every outstanding task already has
+        # one (the tail is stragglers, not queueing).
+        run = jt.current
+        if run is not None and run.job is job:
+            outstanding = (len(run.pending_maps) + len(run.pending_reduces)
+                           + len(run.running))
+            if outstanding <= jt.total_slots:
+                return 0
+        budget = (deadline - now) * (1.0 - self.slack)
+        if budget <= 0:
+            return self.step  # already late: add capacity anyway
+        slots = max(1, jt.total_slots)
+        slots_per_node = max(1, slots // max(1, len(jt.trackers)))
+        if remaining <= budget:
+            if self.scale_in:
+                # Would the cluster minus one step still be early?
+                shrunk_slots = slots - self.step * slots_per_node
+                if shrunk_slots >= slots_per_node:
+                    projected = remaining * slots / shrunk_slots
+                    if projected <= budget * self.scale_in_margin:
+                        return -self.step
+            return 0
+        # Slots needed to hit the budget, translated into nodes.
+        needed_slots = remaining * slots / budget
+        deficit_slots = needed_slots - slots
+        nodes = int(deficit_slots // slots_per_node) + 1
+        return max(self.step, min(nodes, self.max_extra_nodes))

@@ -1,0 +1,96 @@
+"""Experiment runner: regenerate any of the paper's tables from the CLI.
+
+Usage::
+
+    python -m repro.experiments E1        # one experiment
+    python -m repro.experiments E1 E6     # several
+    python -m repro.experiments all       # everything
+    python -m repro.experiments --list    # what exists
+
+Each experiment id maps to the summary test of its benchmark module
+(single source of truth — the same code path as
+``pytest benchmarks/ --benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+#: Experiment id -> (bench node id, one-line description).
+EXPERIMENTS = {
+    "E1": ("bench_shrinker.py::test_e1_summary_table",
+           "Shrinker vs baseline cluster WAN migration, per workload"),
+    "E2": ("bench_shrinker_cluster.py::test_e2_summary_table",
+           "dedup savings vs cluster size, memory and disk"),
+    "E3": ("bench_sky_blast.py::test_e3_summary_table",
+           "MapReduce BLAST scaling over multiple clouds"),
+    "E4": ("bench_elastic.py::test_e4_summary_table",
+           "runtime cluster resizing (elastic Hadoop)"),
+    "E5": ("bench_startup.py::test_e5_summary_table",
+           "cluster startup: unicast vs broadcast chain vs CoW"),
+    "E6": ("bench_vine.py::test_e6_summary_table",
+           "TCP survival across inter-cloud migration (ViNe)"),
+    "E7": ("bench_patterns.py::test_e7_summary_table",
+           "hypervisor-level pattern detection vs ground truth"),
+    "E8": ("bench_autonomic.py::test_e8_summary_table",
+           "communication-aware relocation vs naive placement"),
+    "E9": ("bench_spot.py::test_e9_summary_table",
+           "migratable vs classic spot instances"),
+    "E10": ("bench_emr.py::test_e10_summary_table",
+            "deadline-aware Elastic MapReduce policies"),
+    "scale": ("bench_scale.py::test_scale_summary_table",
+              "weak-scaling virtual clusters to 512 nodes over 4 clouds"),
+    "ablations": ("bench_ablations.py",
+                  "design-choice ablations (digest size, registry "
+                  "prepopulation, migration concurrency, hash speed)"),
+}
+
+
+def bench_dir() -> pathlib.Path:
+    """Locate the benchmarks directory relative to the repo root."""
+    here = pathlib.Path(__file__).resolve()
+    for parent in here.parents:
+        candidate = parent / "benchmarks"
+        if candidate.is_dir():
+            return candidate
+    raise FileNotFoundError("cannot locate the benchmarks/ directory")
+
+
+def run(ids) -> int:
+    """Run the experiments named by ``ids``; returns an exit code."""
+    import pytest
+
+    base = bench_dir()
+    targets = []
+    for exp_id in ids:
+        try:
+            node, _ = EXPERIMENTS[exp_id]
+        except KeyError:
+            print(f"unknown experiment {exp_id!r}; use --list",
+                  file=sys.stderr)
+            return 2
+        targets.append(str(base / node))
+    return pytest.main(
+        targets + ["--benchmark-only", "-s", "-q",
+                   "--benchmark-disable-gc",
+                   "-p", "no:cacheprovider",
+                   "--rootdir", str(base.parent)]
+    )
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or "--help" in argv or "-h" in argv:
+        print(__doc__)
+        return 0
+    if "--list" in argv:
+        for exp_id, (_, desc) in EXPERIMENTS.items():
+            print(f"{exp_id:10} {desc}")
+        return 0
+    ids = list(EXPERIMENTS) if argv == ["all"] else argv
+    return run(ids)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,169 @@
+"""Disk images with copy-on-write chains.
+
+Models the two image technologies in the paper's fast-instantiation work
+(SII): a *base* image that can be shared read-only by many VMs, and thin
+copy-on-write overlays holding only the blocks a VM has written.  A CoW
+overlay is what makes "near-instant virtual machine creation" possible —
+deploying a VM costs only the overlay, not the full image copy.
+
+Like guest memory, block contents are 64-bit fingerprints, so Shrinker's
+on-disk deduplication works on the same content-identity machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..network.units import KB
+
+
+#: Default disk block size (matches the 4 KiB memory page for dedup).
+BLOCK_SIZE = 4 * KB
+
+
+class DiskImage:
+    """A flat (fully materialized) disk image."""
+
+    def __init__(self, name: str, n_blocks: int, block_size: int = BLOCK_SIZE,
+                 fingerprints: Optional[np.ndarray] = None):
+        if n_blocks <= 0:
+            raise ValueError(f"n_blocks must be positive, got {n_blocks}")
+        self.name = name
+        self.n_blocks = n_blocks
+        self.block_size = block_size
+        if fingerprints is None:
+            self._blocks = np.zeros(n_blocks, dtype=np.uint64)
+        else:
+            if len(fingerprints) != n_blocks:
+                raise ValueError("fingerprints length mismatch")
+            self._blocks = fingerprints.astype(np.uint64, copy=True)
+        self._dirty = np.zeros(n_blocks, dtype=bool)
+
+    @property
+    def size_bytes(self) -> int:
+        """Full logical size."""
+        return self.n_blocks * self.block_size
+
+    @property
+    def materialized_bytes(self) -> int:
+        """Bytes that must move to copy this image somewhere."""
+        return self.size_bytes
+
+    def blocks(self) -> np.ndarray:
+        """The complete block-content fingerprint array."""
+        return self._blocks
+
+    def write(self, indices: np.ndarray, values: np.ndarray) -> None:
+        """Overwrite blocks in place (tracked by the dirty bitmap)."""
+        self._blocks[indices] = values
+        self._dirty[indices] = True
+
+    @property
+    def dirty_count(self) -> int:
+        """Blocks written since the last dirty-bitmap clear."""
+        return int(self._dirty.sum())
+
+    def read_and_clear_dirty(self) -> np.ndarray:
+        """Fingerprints of dirty blocks; resets the bitmap (block
+        migration's iterative tracking)."""
+        idx = np.flatnonzero(self._dirty)
+        self._dirty[:] = False
+        return self._blocks[idx]
+
+    def clone(self, name: str) -> "DiskImage":
+        """A full (deep) copy — the slow path CoW exists to avoid."""
+        return DiskImage(name, self.n_blocks, self.block_size,
+                         fingerprints=self._blocks)
+
+    def __repr__(self):
+        return f"<DiskImage {self.name!r} {self.size_bytes / 2**30:.2f} GiB>"
+
+
+class CowDisk:
+    """A thin overlay on a shared read-only base image.
+
+    Only written blocks live in the overlay; reads fall through to the
+    base.  ``materialized_bytes`` — the data that must actually move or
+    be stored — is just the overlay, which is why CoW instantiation is
+    near-instant.
+    """
+
+    def __init__(self, name: str, base: DiskImage):
+        self.name = name
+        self.base = base
+        self._overlay: Dict[int, int] = {}
+        self._dirty: Dict[int, int] = {}
+
+    @property
+    def n_blocks(self) -> int:
+        return self.base.n_blocks
+
+    @property
+    def block_size(self) -> int:
+        return self.base.block_size
+
+    @property
+    def size_bytes(self) -> int:
+        """Logical size (same as the base)."""
+        return self.base.size_bytes
+
+    @property
+    def overlay_blocks(self) -> int:
+        """Number of blocks written since creation."""
+        return len(self._overlay)
+
+    @property
+    def materialized_bytes(self) -> int:
+        """Bytes that must move to copy this VM's disk state (overlay only,
+        assuming the destination already holds or receives the base)."""
+        return self.overlay_blocks * self.block_size
+
+    def write(self, indices: np.ndarray, values: np.ndarray) -> None:
+        """Copy-on-write: writes land in the overlay (and dirty set)."""
+        for i, v in zip(np.asarray(indices).tolist(),
+                        np.asarray(values).tolist()):
+            self._overlay[int(i)] = int(v)
+            self._dirty[int(i)] = int(v)
+
+    @property
+    def dirty_count(self) -> int:
+        """Blocks written since the last dirty-set clear."""
+        return len(self._dirty)
+
+    def read_and_clear_dirty(self) -> np.ndarray:
+        """Fingerprints of dirty blocks; resets the tracking set."""
+        if not self._dirty:
+            return np.empty(0, dtype=np.uint64)
+        out = np.fromiter(self._dirty.values(), dtype=np.uint64,
+                          count=len(self._dirty))
+        self._dirty.clear()
+        return out
+
+    def blocks(self) -> np.ndarray:
+        """Materialized view: base content with overlay applied."""
+        out = self.base.blocks().copy()
+        if self._overlay:
+            idx = np.fromiter(self._overlay.keys(), dtype=np.int64,
+                              count=len(self._overlay))
+            val = np.fromiter(self._overlay.values(), dtype=np.uint64,
+                              count=len(self._overlay))
+            out[idx] = val
+        return out
+
+    def overlay_fingerprints(self) -> np.ndarray:
+        """Fingerprints of overlay blocks only (for incremental transfer)."""
+        if not self._overlay:
+            return np.empty(0, dtype=np.uint64)
+        return np.fromiter(self._overlay.values(), dtype=np.uint64,
+                           count=len(self._overlay))
+
+    def flatten(self, name: str) -> DiskImage:
+        """Materialize into an independent flat image."""
+        return DiskImage(name, self.n_blocks, self.block_size,
+                         fingerprints=self.blocks())
+
+    def __repr__(self):
+        return (f"<CowDisk {self.name!r} base={self.base.name!r} "
+                f"overlay={self.overlay_blocks} blocks>")

@@ -1,0 +1,21 @@
+"""MapReduce engine: jobs, HDFS-style block placement, JobTracker /
+TaskTrackers with data-local scheduling, shuffle over the flow network,
+and runtime elasticity (the paper's extended Hadoop).
+"""
+
+from .elastic import ElasticCluster
+from .engine import JobTracker, TaskTracker
+from .hdfs import BlockStore
+from .job import JobResult, MapReduceJob, Task, TaskKind, TaskState
+
+__all__ = [
+    "BlockStore",
+    "ElasticCluster",
+    "JobResult",
+    "JobTracker",
+    "MapReduceJob",
+    "Task",
+    "TaskKind",
+    "TaskState",
+    "TaskTracker",
+]

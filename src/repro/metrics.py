@@ -1,0 +1,169 @@
+"""Simulation instrumentation: time series, periodic probes, counters.
+
+A production infrastructure toolkit ships observability; this module is
+the simulation equivalent.  :class:`MetricsRecorder` collects named
+:class:`TimeSeries`, fed either by explicit :meth:`MetricsRecorder.record`
+calls or by :class:`Probe` processes that sample a callable on a fixed
+period (link utilization, cluster size, spot price, registry hit rate —
+anything).
+
+Example
+-------
+>>> from repro.simkernel import Simulator
+>>> sim = Simulator()
+>>> metrics = MetricsRecorder(sim)
+>>> tick = {"n": 0}
+>>> def sample():
+...     tick["n"] += 1
+...     return tick["n"]
+>>> _ = metrics.probe("ticks", sample, interval=1.0)
+>>> sim.run(until=3.5)
+>>> metrics.series("ticks").values()
+[1, 2, 3]
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .network.flows import FlowScheduler
+from .network.topology import DirectedLink
+from .simkernel import Simulator
+
+
+class TimeSeries:
+    """A named sequence of (simulation time, value) samples."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.samples: List[Tuple[float, float]] = []
+
+    def record(self, t: float, value) -> None:
+        if self.samples and t < self.samples[-1][0]:
+            raise ValueError(
+                f"{self.name!r}: sample at {t} precedes the last one"
+            )
+        self.samples.append((t, value))
+
+    def times(self) -> List[float]:
+        return [t for t, _ in self.samples]
+
+    def values(self) -> List:
+        return [v for _, v in self.samples]
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def last(self):
+        """Most recent value (None if empty)."""
+        return self.samples[-1][1] if self.samples else None
+
+    def mean(self) -> float:
+        if not self.samples:
+            raise ValueError(f"{self.name!r} has no samples")
+        return sum(v for _, v in self.samples) / len(self.samples)
+
+    def maximum(self):
+        if not self.samples:
+            raise ValueError(f"{self.name!r} has no samples")
+        return max(v for _, v in self.samples)
+
+    def integrate(self) -> float:
+        """Time-weighted integral (left-stepwise), e.g. byte-seconds."""
+        total = 0.0
+        for (t0, v0), (t1, _v1) in zip(self.samples, self.samples[1:]):
+            total += v0 * (t1 - t0)
+        return total
+
+    def __repr__(self):
+        return f"<TimeSeries {self.name!r} n={len(self.samples)}>"
+
+
+class Probe:
+    """Samples ``fn()`` every ``interval`` simulated seconds."""
+
+    def __init__(self, sim: Simulator, series: TimeSeries,
+                 fn: Callable[[], float], interval: float):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.series = series
+        self.fn = fn
+        self.interval = interval
+        self.active = True
+        self.process = sim.process(self._run(), name=f"probe-{series.name}")
+
+    def stop(self) -> None:
+        self.active = False
+
+    def _run(self):
+        while self.active:
+            yield self.sim.timeout(self.interval)
+            if not self.active:
+                return
+            self.series.record(self.sim.now, self.fn())
+
+
+class MetricsRecorder:
+    """A registry of series and probes for one simulation."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._series: Dict[str, TimeSeries] = {}
+        self._probes: List[Probe] = []
+
+    def series(self, name: str) -> TimeSeries:
+        """Get (or create) a series."""
+        ts = self._series.get(name)
+        if ts is None:
+            ts = self._series[name] = TimeSeries(name)
+        return ts
+
+    def record(self, name: str, value) -> None:
+        """Record a sample at the current simulation time."""
+        self.series(name).record(self.sim.now, value)
+
+    def probe(self, name: str, fn: Callable[[], float],
+              interval: float = 1.0) -> Probe:
+        """Start a periodic sampler feeding series ``name``."""
+        probe = Probe(self.sim, self.series(name), fn, interval)
+        self._probes.append(probe)
+        return probe
+
+    def stop_all(self) -> None:
+        for probe in self._probes:
+            probe.stop()
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def as_dict(self) -> Dict[str, List[Tuple[float, float]]]:
+        """Plain-dict export (for JSON dumps or plotting)."""
+        return {name: list(ts.samples) for name, ts in self._series.items()}
+
+    def to_csv(self, name: str) -> str:
+        """One series as ``time,value`` CSV text."""
+        ts = self.series(name)
+        lines = ["time,value"]
+        lines += [f"{t},{v}" for t, v in ts.samples]
+        return "\n".join(lines) + "\n"
+
+
+# -- ready-made samplers -------------------------------------------------
+
+
+def link_utilization_sampler(scheduler: FlowScheduler,
+                             link: DirectedLink) -> Callable[[], float]:
+    """Sampler returning a link's current utilization in [0, 1]."""
+
+    def sample() -> float:
+        rate = sum(f.rate for f in scheduler.active_flows
+                   if link in f.path)
+        return min(1.0, rate / link.bandwidth)
+
+    return sample
+
+
+def active_flow_sampler(scheduler: FlowScheduler) -> Callable[[], int]:
+    """Sampler returning the number of in-flight flows."""
+    return lambda: len(scheduler.active_flows)

@@ -1,0 +1,75 @@
+"""Traffic accounting.
+
+Cloud customers are billed for traffic entering and leaving each cloud
+(the paper stresses this twice: WAN bandwidth is what Shrinker saves, and
+cross-cloud chatter is what the autonomic planner minimizes).  The
+:class:`BillingMeter` records every inter-site byte the flow scheduler
+moves, keeps per-site ingress/egress totals and a site-pair matrix, and
+prices them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Tuple
+
+from .units import GB_DECIMAL
+
+
+class BillingMeter:
+    """Accumulates inter-site traffic and converts it to cost.
+
+    Intra-site traffic is free and is not recorded.
+    """
+
+    def __init__(self, price_per_gb_egress: float = 0.09,
+                 price_per_gb_ingress: float = 0.0):
+        self.price_per_gb_egress = price_per_gb_egress
+        self.price_per_gb_ingress = price_per_gb_ingress
+        self.egress_bytes: Dict[str, float] = defaultdict(float)
+        self.ingress_bytes: Dict[str, float] = defaultdict(float)
+        self.pair_bytes: Dict[Tuple[str, str], float] = defaultdict(float)
+
+    def record(self, src_site: str, dst_site: str, nbytes: float) -> None:
+        """Account ``nbytes`` moving from ``src_site`` to ``dst_site``."""
+        if nbytes < 0:
+            raise ValueError(f"negative byte count {nbytes}")
+        if src_site == dst_site or nbytes == 0:
+            return
+        self.egress_bytes[src_site] += nbytes
+        self.ingress_bytes[dst_site] += nbytes
+        self.pair_bytes[(src_site, dst_site)] += nbytes
+
+    @property
+    def total_cross_site_bytes(self) -> float:
+        """All bytes that crossed a site boundary."""
+        return sum(self.pair_bytes.values())
+
+    def site_cost(self, site: str) -> float:
+        """Billed cost for one site's ingress + egress traffic."""
+        return (self.egress_bytes.get(site, 0.0) / GB_DECIMAL
+                * self.price_per_gb_egress
+                + self.ingress_bytes.get(site, 0.0) / GB_DECIMAL
+                * self.price_per_gb_ingress)
+
+    def total_cost(self) -> float:
+        """Billed cost across every site."""
+        sites = set(self.egress_bytes) | set(self.ingress_bytes)
+        return sum(self.site_cost(s) for s in sites)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """A plain-dict copy of the current counters (for reports)."""
+        return {
+            "egress": dict(self.egress_bytes),
+            "ingress": dict(self.ingress_bytes),
+        }
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.egress_bytes.clear()
+        self.ingress_bytes.clear()
+        self.pair_bytes.clear()
+
+    def __repr__(self):
+        return (f"<BillingMeter cross-site={self.total_cross_site_bytes:.3g}B "
+                f"cost=${self.total_cost():.2f}>")

@@ -1,0 +1,310 @@
+"""Flow-level data transfers with max-min fair bandwidth sharing.
+
+This is the fluid traffic model standing in for the paper's real WAN and
+LAN links.  Every bulk transfer (a migration round, a MapReduce shuffle,
+an image propagation hop) is a :class:`Flow` routed over the
+:class:`~repro.network.topology.Topology`.  Whenever a flow starts or
+finishes, the scheduler recomputes the **max-min fair** allocation over
+every directed link via progressive filling — the textbook model of how
+competing TCP streams share bottlenecks — and reschedules each flow's
+completion accordingly.
+
+Per-flow rate caps (e.g. a VM NIC, or a deliberately throttled migration)
+are modeled as virtual single-flow links, which integrates them exactly
+into the water-filling computation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Dict, List, Optional, Set
+
+from ..simkernel import Event, Simulator
+from .billing import BillingMeter
+from .topology import DirectedLink, NetworkError, Topology
+
+#: Numerical slack for rate / byte comparisons.
+EPSILON = 1e-9
+
+
+class FlowCancelled(NetworkError):
+    """Raised into waiters when a flow is cancelled mid-transfer."""
+
+
+class Flow:
+    """A single in-flight bulk transfer.
+
+    Attributes
+    ----------
+    done:
+        Event that succeeds with the flow itself once the last byte has
+        arrived (drain time plus one-way path latency), or fails with
+        :class:`FlowCancelled`.
+    rate:
+        Current max-min fair rate (bytes/second), updated by the
+        scheduler as competing flows come and go.
+    """
+
+    _ids = itertools.count()
+
+    __slots__ = (
+        "id", "src", "dst", "size", "remaining", "rate", "path", "done",
+        "started_at", "finished_at", "rate_cap", "tag", "meta",
+        "_last_settled", "_epoch", "_timer",
+    )
+
+    def __init__(self, sim: Simulator, src: str, dst: str, size: float,
+                 path: List[DirectedLink], rate_cap: Optional[float],
+                 tag: str, meta: dict):
+        self.id = next(Flow._ids)
+        self.src = src
+        self.dst = dst
+        self.size = float(size)
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.path = path
+        self.done: Event = sim.event()
+        self.started_at = sim.now
+        self.finished_at: Optional[float] = None
+        self.rate_cap = rate_cap
+        self.tag = tag
+        self.meta = meta
+        self._last_settled = sim.now
+        self._epoch = 0
+        self._timer = None
+
+    @property
+    def transferred(self) -> float:
+        """Bytes moved so far (settled view)."""
+        return self.size - self.remaining
+
+    def __repr__(self):
+        return (f"<Flow #{self.id} {self.src}->{self.dst} "
+                f"{self.size:.3g}B remaining={self.remaining:.3g}B>")
+
+
+class FlowRecord:
+    """Immutable summary of a completed flow, delivered to taps."""
+
+    __slots__ = ("src", "dst", "size", "started_at", "finished_at",
+                 "tag", "meta")
+
+    def __init__(self, flow: Flow):
+        self.src = flow.src
+        self.dst = flow.dst
+        self.size = flow.size
+        self.started_at = flow.started_at
+        self.finished_at = flow.finished_at
+        self.tag = flow.tag
+        self.meta = dict(flow.meta)
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+    def __repr__(self):
+        return f"<FlowRecord {self.src}->{self.dst} {self.size:.3g}B {self.tag}>"
+
+
+class FlowScheduler:
+    """Runs all flows over a topology with max-min fair sharing.
+
+    Parameters
+    ----------
+    sim, topology:
+        The simulation kernel and network graph.
+    billing:
+        Optional :class:`BillingMeter`; inter-site bytes are accounted
+        progressively, so cancelled flows are billed for what they
+        actually moved.
+    """
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 billing: Optional[BillingMeter] = None):
+        self.sim = sim
+        self.topology = topology
+        self.billing = billing
+        self._active: Set[Flow] = set()
+        #: Callbacks invoked with a :class:`FlowRecord` on flow completion.
+        self.taps: List[Callable[[FlowRecord], None]] = []
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def active_flows(self) -> Set[Flow]:
+        """The flows currently in flight (do not mutate)."""
+        return self._active
+
+    def start_flow(self, src: str, dst: str, size: float,
+                   rate_cap: Optional[float] = None, tag: str = "data",
+                   **meta) -> Flow:
+        """Begin transferring ``size`` bytes from site ``src`` to ``dst``.
+
+        Returns the :class:`Flow`; wait on ``flow.done`` for completion.
+        Zero-sized flows complete after the path latency alone.
+        """
+        if size < 0:
+            raise ValueError(f"negative flow size {size}")
+        path = self.topology.path(src, dst)
+        flow = Flow(self.sim, src, dst, size, path, rate_cap, tag, meta)
+        latency = sum(l.latency for l in path)
+        if size == 0:
+            self._finish_after_latency(flow, latency)
+            return flow
+        self._active.add(flow)
+        self._recompute()
+        return flow
+
+    def transfer(self, src: str, dst: str, size: float, **kwargs) -> Event:
+        """Convenience: start a flow and return its completion event."""
+        return self.start_flow(src, dst, size, **kwargs).done
+
+    def rebalance(self) -> None:
+        """Re-run the fair-share allocation now.
+
+        Call after changing link capacities at runtime
+        (:meth:`Topology.set_bandwidth`); flow arrivals and departures
+        trigger this automatically.
+        """
+        self._recompute()
+
+    def cancel(self, flow: Flow) -> None:
+        """Abort an in-flight flow; its waiters see :class:`FlowCancelled`."""
+        if flow not in self._active:
+            return
+        self._settle_all()
+        self._active.discard(flow)
+        flow._epoch += 1
+        if flow._timer is not None:
+            flow._timer.deschedule()
+            flow._timer = None
+        flow.done.fail(FlowCancelled(f"{flow!r} cancelled"))
+        flow.done.defused = True  # cancellation is never a crash
+        self._recompute()
+
+    # -- internals --------------------------------------------------------
+
+    def _settle_all(self) -> None:
+        """Advance every flow's byte counter to the current instant."""
+        now = self.sim.now
+        for flow in self._active:
+            dt = now - flow._last_settled
+            if dt > 0 and flow.rate > 0:
+                moved = min(flow.remaining, flow.rate * dt)
+                flow.remaining -= moved
+                if self.billing is not None:
+                    self.billing.record(flow.src, flow.dst, moved)
+            flow._last_settled = now
+
+    def _recompute(self) -> None:
+        """Settle, re-run max-min fair allocation, reschedule completions."""
+        self._settle_all()
+        self._maxmin_rates()
+        for flow in self._active:
+            self._schedule_completion(flow)
+
+    def _maxmin_rates(self) -> None:
+        """Progressive-filling max-min fair allocation.
+
+        All unfrozen flows' rates rise uniformly; when a link saturates,
+        the flows crossing it freeze at the current fill level.  A
+        per-flow rate cap is a virtual link carrying only that flow.
+        """
+        if not self._active:
+            return
+        # Map each (shared or virtual) link to the flows crossing it.
+        link_flows: Dict[object, Set[Flow]] = {}
+        residual: Dict[object, float] = {}
+        for flow in self._active:
+            for link in flow.path:
+                link_flows.setdefault(link, set()).add(flow)
+                residual[link] = link.bandwidth
+            if flow.rate_cap is not None:
+                cap_key = ("cap", flow.id)
+                link_flows[cap_key] = {flow}
+                residual[cap_key] = flow.rate_cap
+
+        unassigned = set(self._active)
+        fill = 0.0
+        while unassigned:
+            # Next saturation point: smallest residual/flow-count over
+            # links still carrying unfrozen flows.
+            delta = math.inf
+            for link, flows in link_flows.items():
+                n = len(flows)
+                if n:
+                    delta = min(delta, residual[link] / n)
+            if not math.isfinite(delta):  # pragma: no cover - defensive
+                break
+            fill += delta
+            saturated = []
+            for link, flows in link_flows.items():
+                n = len(flows)
+                if n:
+                    residual[link] -= delta * n
+                    if residual[link] <= EPSILON * max(1.0, link_flows_cap(link)):
+                        saturated.append(link)
+            frozen: Set[Flow] = set()
+            for link in saturated:
+                frozen |= link_flows[link]
+            if not frozen:  # pragma: no cover - numerical safety
+                frozen = set(unassigned)
+            for flow in frozen:
+                flow.rate = fill
+                unassigned.discard(flow)
+                for link in flow.path:
+                    link_flows[link].discard(flow)
+                if flow.rate_cap is not None:
+                    link_flows[("cap", flow.id)].discard(flow)
+
+    def _schedule_completion(self, flow: Flow) -> None:
+        """(Re)arm the completion timer for ``flow`` at its current rate."""
+        flow._epoch += 1
+        epoch = flow._epoch
+        if flow._timer is not None:
+            flow._timer.deschedule()
+            flow._timer = None
+        if flow.rate <= 0:  # starved; will be rescheduled on next recompute
+            return
+        eta = flow.remaining / flow.rate
+        timer = self.sim.timeout(eta)
+        timer.callbacks.append(lambda _ev: self._maybe_complete(flow, epoch))
+        flow._timer = timer
+
+    def _maybe_complete(self, flow: Flow, epoch: int) -> None:
+        if flow._epoch != epoch or flow not in self._active:
+            return  # superseded by a later recompute or cancellation
+        self._settle_all()
+        if flow.remaining > EPSILON * max(1.0, flow.size):
+            # Numerical drift: rearm.
+            self._schedule_completion(flow)
+            return
+        flow.remaining = 0.0
+        flow._timer = None
+        self._active.discard(flow)
+        latency = sum(l.latency for l in flow.path)
+        self._finish_after_latency(flow, latency)
+        self._recompute()
+
+    def _finish_after_latency(self, flow: Flow, latency: float) -> None:
+        def fire(_ev):
+            flow.finished_at = self.sim.now
+            flow.done.succeed(flow)
+            if self.taps:
+                record = FlowRecord(flow)
+                for tap in self.taps:
+                    tap(record)
+
+        if latency > 0:
+            timer = self.sim.timeout(latency)
+            timer.callbacks.append(fire)
+        else:
+            stub = self.sim.event()
+            stub.callbacks.append(fire)
+            stub.succeed()
+
+
+def link_flows_cap(link) -> float:
+    """Bandwidth of a real or virtual link (for epsilon scaling)."""
+    return link.bandwidth if isinstance(link, DirectedLink) else 1.0

@@ -1,0 +1,40 @@
+"""Packet-count estimation helpers for the traffic sniffer.
+
+The flow model is fluid, but the paper's communication-pattern framework
+captures *packets* at the hypervisor.  These helpers convert flow records
+into estimated packet counts (payload / MTU segmentation plus ACKs) so
+the pattern-detection layer can work in the same units as a real
+libpcap-based capture.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .flows import FlowRecord
+from .units import MTU
+
+#: TCP/IP header bytes per segment (IP 20 + TCP 20).
+HEADER_BYTES = 40
+#: Pure-ACK packets per data segment in a typical stream (delayed ACKs).
+ACKS_PER_SEGMENT = 0.5
+
+
+def segments(nbytes: float, mtu: int = MTU) -> int:
+    """Number of MTU-sized segments needed for ``nbytes`` of payload."""
+    if nbytes < 0:
+        raise ValueError(f"negative byte count {nbytes}")
+    payload_per_segment = mtu - HEADER_BYTES
+    return int(math.ceil(nbytes / payload_per_segment)) if nbytes else 0
+
+
+def wire_bytes(nbytes: float, mtu: int = MTU) -> float:
+    """Bytes on the wire including per-segment headers and ACKs."""
+    n = segments(nbytes, mtu)
+    return nbytes + n * HEADER_BYTES + ACKS_PER_SEGMENT * n * HEADER_BYTES
+
+
+def record_packets(record: FlowRecord, mtu: int = MTU) -> int:
+    """Estimated packet count observed for a completed flow."""
+    n = segments(record.size, mtu)
+    return n + int(ACKS_PER_SEGMENT * n)

@@ -1,0 +1,32 @@
+"""Unit helpers.  The simulation uses **bytes** and **seconds** throughout;
+bandwidths are bytes/second.  These constants make call sites read like the
+paper ("a 1 Gbit/s WAN link", "a 4 KiB page")."""
+
+#: Sizes (bytes).
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Decimal sizes, used by providers when billing per GB.
+GB_DECIMAL = 10 ** 9
+
+#: Bandwidths (bytes/second) from bit-rates.
+Kbit = 1000 / 8
+Mbit = 1000 * Kbit
+Gbit = 1000 * Mbit
+
+#: A conventional 4 KiB memory page.
+PAGE_SIZE = 4 * KB
+
+#: Ethernet-ish MTU used by the packet-count estimator.
+MTU = 1500
+
+
+def mbit_per_s(n: float) -> float:
+    """``n`` megabits per second, as bytes/second."""
+    return n * Mbit
+
+
+def gbit_per_s(n: float) -> float:
+    """``n`` gigabits per second, as bytes/second."""
+    return n * Gbit

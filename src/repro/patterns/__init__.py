@@ -1,0 +1,26 @@
+"""Communication-pattern detection (paper §III-C): transparent
+hypervisor-level capture, instrumented ground truth, and matrix
+similarity analysis.
+"""
+
+from .analysis import (
+    cosine_similarity,
+    pearson_correlation,
+    per_pair_relative_error,
+    top_pair_overlap,
+    volume_ratio,
+)
+from .capture import HypervisorSniffer
+from .groundtruth import GroundTruthRecorder
+from .matrix import TrafficMatrix
+
+__all__ = [
+    "GroundTruthRecorder",
+    "HypervisorSniffer",
+    "TrafficMatrix",
+    "cosine_similarity",
+    "pearson_correlation",
+    "per_pair_relative_error",
+    "top_pair_overlap",
+    "volume_ratio",
+]

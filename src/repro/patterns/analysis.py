@@ -1,0 +1,68 @@
+"""Similarity metrics between traffic matrices.
+
+Used to quantify the paper's claim that the hypervisor-level capture
+"is able to detect communication traces similar to state of the art
+solutions that use more invasive techniques".
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .matrix import TrafficMatrix
+
+
+def _aligned_vectors(a: TrafficMatrix, b: TrafficMatrix
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    names = sorted(set(a.endpoints()) | set(b.endpoints()))
+    va, _ = a.as_array(names)
+    vb, _ = b.as_array(names)
+    return va.ravel(), vb.ravel()
+
+
+def cosine_similarity(a: TrafficMatrix, b: TrafficMatrix) -> float:
+    """Cosine of the angle between the two pair-volume vectors in
+    [0, 1]; 1 means identical *shape* regardless of scale."""
+    va, vb = _aligned_vectors(a, b)
+    na, nb = np.linalg.norm(va), np.linalg.norm(vb)
+    if na == 0 or nb == 0:
+        return 1.0 if na == nb else 0.0
+    return float(np.dot(va, vb) / (na * nb))
+
+
+def pearson_correlation(a: TrafficMatrix, b: TrafficMatrix) -> float:
+    """Pearson correlation across pair volumes."""
+    va, vb = _aligned_vectors(a, b)
+    if va.std() == 0 or vb.std() == 0:
+        return 1.0 if np.allclose(va, vb) else 0.0
+    return float(np.corrcoef(va, vb)[0, 1])
+
+
+def volume_ratio(measured: TrafficMatrix, truth: TrafficMatrix) -> float:
+    """Measured total / true total (>1: framing overhead was captured)."""
+    if truth.total_bytes == 0:
+        return 1.0 if measured.total_bytes == 0 else float("inf")
+    return measured.total_bytes / truth.total_bytes
+
+
+def top_pair_overlap(a: TrafficMatrix, b: TrafficMatrix, k: int = 5
+                     ) -> float:
+    """Jaccard overlap of the two matrices' top-k heaviest pairs — does
+    the capture identify the same dominant conversations?"""
+    ta = {p for p, _ in a.top_pairs(k)}
+    tb = {p for p, _ in b.top_pairs(k)}
+    if not ta and not tb:
+        return 1.0
+    return len(ta & tb) / len(ta | tb)
+
+
+def per_pair_relative_error(measured: TrafficMatrix, truth: TrafficMatrix
+                            ) -> List[float]:
+    """Relative errors on pairs with true traffic (for distributions)."""
+    errors = []
+    for pair, true_bytes in truth.pairs().items():
+        got = measured.get(*pair)
+        errors.append(abs(got - true_bytes) / true_bytes)
+    return errors

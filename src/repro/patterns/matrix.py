@@ -1,0 +1,83 @@
+"""Traffic matrices: who talks to whom, and how much."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+
+class TrafficMatrix:
+    """Accumulated bytes between named endpoints (directed)."""
+
+    def __init__(self):
+        self._bytes: Dict[Tuple[str, str], float] = defaultdict(float)
+
+    def record(self, src: str, dst: str, nbytes: float) -> None:
+        if nbytes < 0:
+            raise ValueError(f"negative byte count {nbytes}")
+        if src == dst or nbytes == 0:
+            return
+        self._bytes[(src, dst)] += nbytes
+
+    def get(self, src: str, dst: str) -> float:
+        return self._bytes.get((src, dst), 0.0)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(self._bytes.values())
+
+    def endpoints(self) -> List[str]:
+        """All endpoint names, sorted."""
+        names = set()
+        for s, d in self._bytes:
+            names.add(s)
+            names.add(d)
+        return sorted(names)
+
+    def pairs(self) -> Dict[Tuple[str, str], float]:
+        """A copy of the (src, dst) -> bytes mapping."""
+        return dict(self._bytes)
+
+    def top_pairs(self, k: int = 10) -> List[Tuple[Tuple[str, str], float]]:
+        """The ``k`` heaviest directed pairs."""
+        return sorted(self._bytes.items(), key=lambda kv: -kv[1])[:k]
+
+    def symmetrized(self) -> "TrafficMatrix":
+        """Undirected view: bytes(a,b) + bytes(b,a) on both directions."""
+        out = TrafficMatrix()
+        seen = set()
+        for (s, d), v in self._bytes.items():
+            key = (min(s, d), max(s, d))
+            if key in seen:
+                continue
+            seen.add(key)
+            total = v + self._bytes.get((d, s), 0.0)
+            out.record(key[0], key[1], total)
+        return out
+
+    def as_array(self, order: Optional[Iterable[str]] = None
+                 ) -> Tuple[np.ndarray, List[str]]:
+        """Dense matrix over ``order`` (default: sorted endpoints)."""
+        names = list(order) if order is not None else self.endpoints()
+        index = {n: i for i, n in enumerate(names)}
+        arr = np.zeros((len(names), len(names)))
+        for (s, d), v in self._bytes.items():
+            if s in index and d in index:
+                arr[index[s], index[d]] = v
+        return arr, names
+
+    def scaled(self, factor: float) -> "TrafficMatrix":
+        """A copy with all volumes multiplied by ``factor``."""
+        out = TrafficMatrix()
+        for (s, d), v in self._bytes.items():
+            out.record(s, d, v * factor)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._bytes)
+
+    def __repr__(self):
+        return (f"<TrafficMatrix pairs={len(self._bytes)} "
+                f"bytes={self.total_bytes:.3g}>")

@@ -1,0 +1,43 @@
+"""Shrinker: WAN live migration with distributed data deduplication and
+content-based addressing (the paper's §III-A, its core contribution).
+
+Components:
+
+* :class:`ContentRegistry` / :class:`RegistryDirectory` — the per-site
+  distributed index of content already present at a destination cloud;
+* :class:`ShrinkerCodec` — the page codec replacing duplicate page
+  payloads with digests, pluggable into the baseline pre-copy engine;
+* :class:`ClusterMigrationCoordinator` — whole-virtual-cluster migration
+  with shared dedup state (inter-VM redundancy crosses the WAN once);
+* :mod:`~repro.shrinker.analysis` — hash-collision risk and ideal-dedup
+  bounds.
+"""
+
+from .analysis import (
+    collision_probability,
+    expected_wire_bytes,
+    ideal_dedup_saving,
+    pages_for_collision_risk,
+)
+from .codec import ShrinkerCodec, shrinker_codec_factory
+from .coordinator import ClusterMigrationCoordinator, ClusterMigrationStats
+from .hashing import MD5, SCHEMES, SHA1, SHA256, HashScheme
+from .registry import ContentRegistry, RegistryDirectory
+
+__all__ = [
+    "ClusterMigrationCoordinator",
+    "ClusterMigrationStats",
+    "ContentRegistry",
+    "HashScheme",
+    "MD5",
+    "RegistryDirectory",
+    "SCHEMES",
+    "SHA1",
+    "SHA256",
+    "ShrinkerCodec",
+    "collision_probability",
+    "expected_wire_bytes",
+    "ideal_dedup_saving",
+    "pages_for_collision_risk",
+    "shrinker_codec_factory",
+]

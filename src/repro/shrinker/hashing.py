@@ -1,0 +1,37 @@
+"""Content-hash parameters for Shrinker's wire protocol.
+
+Real Shrinker hashes each 4 KiB page with a cryptographic function and
+ships a digest instead of a duplicate page.  In the simulation the
+fingerprint *is* the content identity, so hashing is exact; what remains
+of the hash function on the wire is its **digest size** (how many bytes
+replace a duplicate page) and, analytically, its collision risk (see
+:mod:`repro.shrinker.analysis` for the paper's safety argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HashScheme:
+    """A cryptographic hash choice for content addressing."""
+
+    name: str
+    digest_bytes: int
+
+    def __post_init__(self):
+        if self.digest_bytes <= 0:
+            raise ValueError("digest_bytes must be positive")
+
+    @property
+    def digest_bits(self) -> int:
+        return self.digest_bytes * 8
+
+
+#: The schemes the Shrinker report discusses.
+SHA1 = HashScheme("sha1", 20)
+SHA256 = HashScheme("sha256", 32)
+MD5 = HashScheme("md5", 16)
+
+SCHEMES = {s.name: s for s in (SHA1, SHA256, MD5)}

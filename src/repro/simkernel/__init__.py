@@ -1,0 +1,58 @@
+"""Discrete-event simulation kernel underlying the whole reproduction.
+
+This package provides a self-contained, generator-based discrete-event
+simulator (events, processes, interrupts, conditions, and shared-resource
+primitives).  Every higher-level subsystem — the network substrate, the
+hypervisor model, clouds, MapReduce — is built as processes on this
+kernel.
+"""
+
+from .core import Infinity, Simulator
+from .errors import EmptySchedule, Interrupt, SimulationError, StopSimulation
+from .events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    ConditionValue,
+    Event,
+    NORMAL,
+    Timeout,
+    URGENT,
+)
+from .process import Process
+from .resources import (
+    Container,
+    FilterStore,
+    PriorityRequest,
+    PriorityResource,
+    Release,
+    Request,
+    Resource,
+    Store,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "ConditionValue",
+    "Container",
+    "EmptySchedule",
+    "Event",
+    "FilterStore",
+    "Infinity",
+    "Interrupt",
+    "NORMAL",
+    "PriorityRequest",
+    "PriorityResource",
+    "Process",
+    "Release",
+    "Request",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "StopSimulation",
+    "Timeout",
+    "URGENT",
+]

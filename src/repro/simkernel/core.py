@@ -1,0 +1,180 @@
+"""The simulator: event queue, clock and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Optional, Union
+
+from .errors import EmptySchedule, SimulationError, StopSimulation
+from .events import AllOf, AnyOf, Event, NORMAL, Timeout, URGENT
+from .process import Process
+
+Infinity = float("inf")
+
+
+class Simulator:
+    """A discrete-event simulator with a floating-point clock.
+
+    The simulator owns an event queue ordered by ``(time, priority,
+    sequence)``.  Simulation entities are generator-based
+    :class:`~repro.simkernel.process.Process` objects created with
+    :meth:`process`; they advance time by yielding :meth:`timeout` events
+    and coordinate by yielding arbitrary events.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> def hello(sim, results):
+    ...     yield sim.timeout(5)
+    ...     results.append(sim.now)
+    >>> results = []
+    >>> _ = sim.process(hello(sim, results))
+    >>> sim.run()
+    >>> results
+    [5.0]
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []  # (time, priority, seq, event)
+        self._seq = 0
+        self._active_proc: Optional[Process] = None
+
+    # -- clock & introspection ------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        while self._queue and self._queue[0][3]._descheduled:
+            heapq.heappop(self._queue)
+        return self._queue[0][0] if self._queue else Infinity
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, event: Event, priority: int = NORMAL,
+                 delay: float = 0.0) -> None:
+        """Queue ``event`` for processing after ``delay`` time units."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        """Condition satisfied when all of ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Condition satisfied when any of ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises
+        ------
+        EmptySchedule
+            If there is nothing left to process.
+        """
+        while True:
+            try:
+                now, _, _, event = heapq.heappop(self._queue)
+            except IndexError:
+                raise EmptySchedule("event queue is empty") from None
+            if not event._descheduled:
+                break
+        self._now = now
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            raise SimulationError(f"{event!r} was scheduled twice")
+        for callback in callbacks:
+            callback(event)
+
+        if event._ok is False and not event._defused:
+            # An unhandled failure crashes the simulation, loudly.
+            raise event._exc
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run until the queue drains, a time is reached, or an event fires.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run to exhaustion; a number — run until the clock
+            reaches it (events at exactly that time are not processed);
+            an :class:`Event` — run until it is processed and return its
+            value.
+        """
+        stop_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.callbacks is None:
+                    # Already processed.
+                    return stop_event.value
+                stop_event.callbacks.append(_stop_simulation)
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(
+                        f"until ({at}) must not be before now ({self._now})"
+                    )
+                stop_event = Event(self)
+                stop_event._ok = True
+                stop_event._value = None
+                self.schedule(stop_event, priority=URGENT, delay=at - self._now)
+                stop_event.callbacks.append(_stop_simulation)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        except EmptySchedule:
+            if isinstance(until, Event) and not until.triggered:
+                raise SimulationError(
+                    "simulation ran out of events before the awaited event fired"
+                ) from None
+            if until is not None and not isinstance(until, Event):
+                # Advance the clock to the requested horizon.
+                self._now = max(self._now, float(until))
+            return None
+
+    def stop(self, value: Any = None) -> None:
+        """Abort :meth:`run` from inside a callback or process."""
+        raise StopSimulation(value)
+
+    def __repr__(self) -> str:
+        return f"<Simulator now={self._now} queued={len(self._queue)}>"
+
+
+def _stop_simulation(event: Event) -> None:
+    if event._ok is False:
+        event._defused = True
+        raise event._exc
+    raise StopSimulation(event._value)

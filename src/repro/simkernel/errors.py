@@ -1,0 +1,40 @@
+"""Exception types used by the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all kernel-level errors."""
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Simulator.step` when the event queue is empty."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to terminate :meth:`Simulator.run` early.
+
+    Users normally call :meth:`Simulator.stop` instead of raising this
+    directly.
+    """
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Delivered into a process that another process interrupted.
+
+    The interrupting party may attach an arbitrary ``cause`` that the
+    interrupted process can inspect, e.g. to distinguish a preemption
+    from a cancellation.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+
+    @property
+    def cause(self):
+        """The value passed to :meth:`Process.interrupt`."""
+        return self.args[0]

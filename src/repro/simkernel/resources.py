@@ -1,0 +1,333 @@
+"""Shared-resource primitives: Resource, PriorityResource, Container, Store.
+
+These mirror the classic DES resource types:
+
+* :class:`Resource` — ``capacity`` slots acquired with ``request()`` /
+  released with ``release()`` (FIFO).
+* :class:`PriorityResource` — like :class:`Resource` but the wait queue
+  is ordered by a user-supplied priority (lower first).
+* :class:`Container` — a homogeneous quantity (fuel, tokens, bytes) with
+  ``put(amount)`` / ``get(amount)``.
+* :class:`Store` — a queue of distinct Python objects; the
+  :class:`FilterStore` variant lets getters wait for items matching a
+  predicate.
+
+All acquisition events are context managers so the canonical usage is::
+
+    with resource.request() as req:
+        yield req
+        ... hold the resource ...
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+from .events import Event
+
+
+class _Acquire(Event):
+    """Base class for resource-acquisition events (context-managed)."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource):
+        super().__init__(resource.sim)
+        self.resource = resource
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.cancel()
+        return None
+
+    def cancel(self) -> None:
+        """Withdraw the request; release if it was already granted."""
+        raise NotImplementedError
+
+
+class Request(_Acquire):
+    """A pending or granted claim on one slot of a :class:`Resource`."""
+
+    __slots__ = ()
+
+    def cancel(self) -> None:
+        resource = self.resource
+        if self.triggered:
+            if self in resource.users:
+                resource.release(self)
+        else:
+            try:
+                resource._queue.remove(self)
+            except ValueError:
+                pass
+
+
+class PriorityRequest(Request):
+    """A :class:`Request` carrying a priority (lower is served first)."""
+
+    __slots__ = ("priority", "time", "_key")
+
+    def __init__(self, resource, priority: float = 0):
+        super().__init__(resource)
+        self.priority = priority
+        self.time = resource.sim.now
+        resource._tiebreak += 1
+        self._key = (priority, self.time, resource._tiebreak)
+
+    def __lt__(self, other: "PriorityRequest") -> bool:
+        return self._key < other._key
+
+
+class Release(Event):
+    """Event confirming that a slot was handed back (always immediate)."""
+
+    __slots__ = ()
+
+
+class Resource:
+    """``capacity`` identical slots with a FIFO wait queue."""
+
+    def __init__(self, sim, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self._capacity = capacity
+        #: Requests currently holding a slot.
+        self.users: List[Request] = []
+        self._queue: Deque[Request] = deque()
+
+    @property
+    def capacity(self) -> int:
+        """Total number of slots."""
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    @property
+    def queue(self):
+        """The requests waiting for a slot (read-only view)."""
+        return tuple(self._queue)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event triggers when granted."""
+        req = Request(self)
+        self._queue.append(req)
+        self._dispatch()
+        return req
+
+    def release(self, request: Request) -> Release:
+        """Hand back a granted slot."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            raise ValueError(f"{request!r} does not hold this resource") from None
+        rel = Release(self.sim)
+        rel.succeed()
+        self._dispatch()
+        return rel
+
+    def _pop_next(self) -> Optional[Request]:
+        return self._queue.popleft() if self._queue else None
+
+    def _dispatch(self) -> None:
+        while len(self.users) < self._capacity:
+            req = self._pop_next()
+            if req is None:
+                return
+            self.users.append(req)
+            req.succeed()
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose wait queue is a priority heap."""
+
+    def __init__(self, sim, capacity: int = 1):
+        super().__init__(sim, capacity)
+        self._heap: List[PriorityRequest] = []
+        self._tiebreak = 0
+
+    @property
+    def queue(self):
+        return tuple(sorted(self._heap))
+
+    def request(self, priority: float = 0) -> PriorityRequest:
+        """Claim a slot with ``priority`` (lower values served first)."""
+        req = PriorityRequest(self, priority)
+        heapq.heappush(self._heap, req)
+        self._dispatch()
+        return req
+
+    def _pop_next(self) -> Optional[PriorityRequest]:
+        return heapq.heappop(self._heap) if self._heap else None
+
+
+class ContainerPut(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container, amount: float):
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        super().__init__(container.sim)
+        self.amount = amount
+
+
+class ContainerGet(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container, amount: float):
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        super().__init__(container.sim)
+        self.amount = amount
+
+
+class Container:
+    """A continuous quantity bounded by ``[0, capacity]``."""
+
+    def __init__(self, sim, capacity: float = float("inf"), init: float = 0.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must lie within [0, capacity]")
+        self.sim = sim
+        self._capacity = capacity
+        self._level = init
+        self._puts: Deque[ContainerPut] = deque()
+        self._gets: Deque[ContainerGet] = deque()
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def level(self) -> float:
+        """Quantity currently stored."""
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        """Add ``amount``; triggers once it fits under ``capacity``."""
+        ev = ContainerPut(self, amount)
+        self._puts.append(ev)
+        self._dispatch()
+        return ev
+
+    def get(self, amount: float) -> ContainerGet:
+        """Remove ``amount``; triggers once that much is available."""
+        ev = ContainerGet(self, amount)
+        self._gets.append(ev)
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._gets and self._gets[0].amount <= self._level:
+                ev = self._gets.popleft()
+                self._level -= ev.amount
+                ev.succeed(ev.amount)
+                progress = True
+            while self._puts and self._level + self._puts[0].amount <= self._capacity:
+                ev = self._puts.popleft()
+                self._level += ev.amount
+                ev.succeed(ev.amount)
+                progress = True
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, store, item: Any):
+        super().__init__(store.sim)
+        self.item = item
+
+
+class StoreGet(Event):
+    __slots__ = ("filter",)
+
+    def __init__(self, store, filter: Optional[Callable[[Any], bool]] = None):
+        super().__init__(store.sim)
+        self.filter = filter
+
+
+class Store:
+    """A FIFO queue of arbitrary items with optional capacity."""
+
+    def __init__(self, sim, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self._capacity = capacity
+        self.items: List[Any] = []
+        self._puts: Deque[StorePut] = deque()
+        self._gets: Deque[StoreGet] = deque()
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; triggers once there is room."""
+        ev = StorePut(self, item)
+        self._puts.append(ev)
+        self._dispatch()
+        return ev
+
+    def get(self) -> StoreGet:
+        """Remove and return the oldest item; triggers when one exists."""
+        ev = StoreGet(self)
+        self._gets.append(ev)
+        self._dispatch()
+        return ev
+
+    def _try_get(self, ev: StoreGet) -> bool:
+        if self.items:
+            ev.succeed(self.items.pop(0))
+            return True
+        return False
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Serve getters first so puts into a full store can proceed.
+            pending: Deque[StoreGet] = deque()
+            while self._gets:
+                ev = self._gets.popleft()
+                if self._try_get(ev):
+                    progress = True
+                else:
+                    pending.append(ev)
+            self._gets = pending
+            while self._puts and len(self.items) < self._capacity:
+                ev = self._puts.popleft()
+                self.items.append(ev.item)
+                ev.succeed()
+                progress = True
+
+
+class FilterStore(Store):
+    """A :class:`Store` whose getters may wait for a matching item."""
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Remove the oldest item satisfying ``filter`` (or any item)."""
+        ev = StoreGet(self, filter)
+        self._gets.append(ev)
+        self._dispatch()
+        return ev
+
+    def _try_get(self, ev: StoreGet) -> bool:
+        if ev.filter is None:
+            return super()._try_get(ev)
+        for i, item in enumerate(self.items):
+            if ev.filter(item):
+                ev.succeed(self.items.pop(i))
+                return True
+        return False

@@ -1,0 +1,48 @@
+"""Sky computing: federation of clouds, cross-cloud virtual clusters,
+resource-selection policies, cloud-API-level migration, and migratable
+spot instances.
+"""
+
+from .checkpoint import (
+    CheckpointRecord,
+    CheckpointingSpotManager,
+    RestoreRecord,
+)
+from .federation import Federation, FederationError
+from .migration_api import (
+    AUTH_HANDSHAKE_BYTES,
+    AuthenticationError,
+    CloudMigrationResult,
+    SkyMigrationService,
+)
+from .scheduler import (
+    Balanced,
+    CapacityProportional,
+    CheapestFirst,
+    PlacementError,
+    PlacementPolicy,
+    SingleCloud,
+)
+from .spot_manager import MigratableSpotManager, RescueRecord
+from .virtual_cluster import VirtualCluster
+
+__all__ = [
+    "AUTH_HANDSHAKE_BYTES",
+    "AuthenticationError",
+    "Balanced",
+    "CapacityProportional",
+    "CheckpointRecord",
+    "CheckpointingSpotManager",
+    "CheapestFirst",
+    "CloudMigrationResult",
+    "Federation",
+    "FederationError",
+    "MigratableSpotManager",
+    "PlacementError",
+    "RestoreRecord",
+    "PlacementPolicy",
+    "RescueRecord",
+    "SingleCloud",
+    "SkyMigrationService",
+    "VirtualCluster",
+]

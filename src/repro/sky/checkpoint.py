@@ -1,0 +1,157 @@
+"""Checkpoint/restart for spot instances — the classic alternative.
+
+The literature's standard answer to spot reclamation (before migratable
+instances) is periodic checkpointing: snapshot the VM's state to stable
+storage in another cloud every ``interval``; on reclamation the instance
+dies and a replacement is restored from the last checkpoint, losing the
+work since.  The E9 bench compares this against the paper's migratable
+spot instances, which lose (nearly) nothing but need the grace window.
+
+Costs modeled: each checkpoint ships the VM's memory plus accumulated
+disk overlay to the refuge cloud (content-addressed, so unchanged state
+is cheap after the first snapshot); a restore provisions a fresh
+instance there and ships the state back in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..cloud.provider import Cloud
+from ..cloud.spot import SpotInstance
+from ..hypervisor.vm import VirtualMachine, VMState
+from ..shrinker.codec import ShrinkerCodec
+from .federation import Federation
+
+
+@dataclass
+class CheckpointRecord:
+    """One snapshot shipped to the refuge."""
+
+    vm_name: str
+    completed_at: float
+    wire_bytes: float
+    duration: float
+
+
+@dataclass
+class RestoreRecord:
+    """One recovery from the latest checkpoint."""
+
+    old_vm: str
+    new_vm: str
+    checkpoint_age: float  #: work lost: reclaim time - last checkpoint
+    duration: float  #: provisioning + state restore time
+
+
+class CheckpointingSpotManager:
+    """Periodically snapshots protected instances to a refuge cloud."""
+
+    def __init__(self, federation: Federation, refuge_cloud: str,
+                 interval: float = 1800.0):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.federation = federation
+        self.refuge = federation.cloud(refuge_cloud)
+        self.interval = interval
+        #: vm name -> time of its newest completed checkpoint.
+        self.last_checkpoint: Dict[str, float] = {}
+        self.checkpoints: List[CheckpointRecord] = []
+        self.restores: List[RestoreRecord] = []
+        self._protected: Dict[str, VirtualMachine] = {}
+
+    # -- protection --------------------------------------------------------
+
+    def protect(self, vm: VirtualMachine) -> None:
+        """Start periodic checkpointing of ``vm``."""
+        if vm.name in self._protected:
+            raise ValueError(f"{vm.name!r} is already protected")
+        self._protected[vm.name] = vm
+        self.federation.sim.process(self._checkpoint_loop(vm),
+                                    name=f"ckpt-{vm.name}")
+
+    def _state_bytes(self, vm: VirtualMachine) -> float:
+        state = vm.memory.size_bytes
+        if vm.disk is not None:
+            state += vm.disk.materialized_bytes
+        return state
+
+    def _checkpoint_loop(self, vm: VirtualMachine):
+        sim = self.federation.sim
+        codec = ShrinkerCodec(
+            self.federation.registries.for_site(self.refuge.name),
+            vm.memory.page_size,
+        )
+        while vm.name in self._protected:
+            yield sim.timeout(self.interval)
+            if vm.state is not VMState.RUNNING:
+                if vm.state is VMState.STOPPED:
+                    return
+                continue  # paused/migrating: skip this cycle
+            started = sim.now
+            enc = codec.encode(vm.memory.pages)
+            wire = enc.wire_bytes
+            if vm.disk is not None:
+                wire += vm.disk.materialized_bytes
+            flow = self.federation.scheduler.start_flow(
+                vm.site, self.refuge.name, wire,
+                tag="checkpoint", vm=vm.name,
+            )
+            yield flow.done
+            record = CheckpointRecord(
+                vm_name=vm.name, completed_at=sim.now,
+                wire_bytes=wire, duration=sim.now - started,
+            )
+            self.checkpoints.append(record)
+            self.last_checkpoint[vm.name] = sim.now
+
+    # -- recovery ----------------------------------------------------------
+
+    def checkpoint_age(self, vm_name: str, now: float) -> Optional[float]:
+        """Seconds of work that would be lost restoring ``vm_name`` now."""
+        last = self.last_checkpoint.get(vm_name)
+        return None if last is None else now - last
+
+    def restore(self, inst: SpotInstance, image_name: str,
+                memory_factory=None):
+        """Provision a replacement at the refuge from the last checkpoint.
+
+        Yields ``(new_vm, restore_record)``; raises if the instance was
+        never checkpointed.
+        """
+        vm_name = inst.vm.name
+        if vm_name not in self.last_checkpoint:
+            raise ValueError(f"{vm_name!r} has no checkpoint to restore")
+        return self.federation.sim.process(
+            self._restore(inst, image_name, memory_factory),
+            name=f"restore-{vm_name}",
+        )
+
+    def _restore(self, inst: SpotInstance, image_name, memory_factory):
+        sim = self.federation.sim
+        started = sim.now
+        age = sim.now - self.last_checkpoint[inst.vm.name]
+        self._protected.pop(inst.vm.name, None)
+        vms = yield self.refuge.run_instances(
+            image_name, 1, memory_factory=memory_factory,
+            name_prefix=f"restored-{inst.vm.name}",
+        )
+        new_vm = vms[0]
+        # Pull the snapshot from refuge storage onto the new host (a
+        # local copy: the checkpoint already lives at this site).
+        flow = self.federation.scheduler.start_flow(
+            self.refuge.name, self.refuge.name,
+            self._state_bytes(new_vm), tag="restore", vm=new_vm.name,
+        )
+        yield flow.done
+        record = RestoreRecord(
+            old_vm=inst.vm.name, new_vm=new_vm.name,
+            checkpoint_age=age, duration=sim.now - started,
+        )
+        self.restores.append(record)
+        return new_vm, record
+
+    @property
+    def total_checkpoint_bytes(self) -> float:
+        return sum(c.wire_bytes for c in self.checkpoints)

@@ -1,0 +1,109 @@
+"""Resource-selection policies for federated provisioning.
+
+The paper's Elastic MapReduce service (§IV) "will support ... policies
+for resource selection"; these are the policies.  Each maps a request
+for ``n`` instances onto the federation's clouds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Protocol, Sequence
+
+from ..cloud.provider import Cloud, InstanceSpec
+
+
+class PlacementPolicy(Protocol):
+    """Split an ``n``-instance request across clouds."""
+
+    def allocate(self, clouds: Sequence[Cloud], n: int,
+                 spec: InstanceSpec) -> Dict[str, int]:
+        ...  # pragma: no cover
+
+
+class PlacementError(Exception):
+    """The request cannot be satisfied under this policy."""
+
+
+def _capacities(clouds: Sequence[Cloud], spec: InstanceSpec) -> Dict[str, int]:
+    return {c.name: c.capacity(spec) for c in clouds}
+
+
+class SingleCloud:
+    """Everything on one preferred cloud (the non-sky baseline)."""
+
+    def __init__(self, preferred: str):
+        self.preferred = preferred
+
+    def allocate(self, clouds, n, spec):
+        by_name = {c.name: c for c in clouds}
+        if self.preferred not in by_name:
+            raise PlacementError(f"no cloud named {self.preferred!r}")
+        if by_name[self.preferred].capacity(spec) < n:
+            raise PlacementError(
+                f"{self.preferred!r} cannot hold {n} instances"
+            )
+        return {self.preferred: n}
+
+
+class Balanced:
+    """Round-robin across clouds with capacity (the sky-computing default:
+    the paper's virtual clusters spanned FutureGrid and Grid'5000 sites
+    in roughly equal shares)."""
+
+    def allocate(self, clouds, n, spec):
+        caps = _capacities(clouds, spec)
+        if sum(caps.values()) < n:
+            raise PlacementError(f"federation cannot hold {n} instances")
+        alloc = {c.name: 0 for c in clouds}
+        names = [c.name for c in clouds]
+        i = 0
+        remaining = n
+        while remaining:
+            name = names[i % len(names)]
+            if alloc[name] < caps[name]:
+                alloc[name] += 1
+                remaining -= 1
+            i += 1
+            if i > 10 * n * len(names):  # pragma: no cover - safety
+                raise PlacementError("allocation did not converge")
+        return {k: v for k, v in alloc.items() if v}
+
+
+class CapacityProportional:
+    """Split proportionally to each cloud's free capacity."""
+
+    def allocate(self, clouds, n, spec):
+        caps = _capacities(clouds, spec)
+        total = sum(caps.values())
+        if total < n:
+            raise PlacementError(f"federation cannot hold {n} instances")
+        alloc = {name: (cap * n) // total for name, cap in caps.items()}
+        short = n - sum(alloc.values())
+        # Distribute the rounding remainder to the largest clouds.
+        for name in sorted(caps, key=caps.get, reverse=True):
+            if short == 0:
+                break
+            if alloc[name] < caps[name]:
+                alloc[name] += 1
+                short -= 1
+        return {k: v for k, v in alloc.items() if v}
+
+
+class CheapestFirst:
+    """Fill the cheapest cloud first, overflow to the next."""
+
+    def allocate(self, clouds, n, spec):
+        caps = _capacities(clouds, spec)
+        if sum(caps.values()) < n:
+            raise PlacementError(f"federation cannot hold {n} instances")
+        ordered = sorted(clouds, key=lambda c: c.pricing.on_demand_hourly)
+        alloc: Dict[str, int] = {}
+        remaining = n
+        for cloud in ordered:
+            take = min(remaining, caps[cloud.name])
+            if take:
+                alloc[cloud.name] = take
+                remaining -= take
+            if remaining == 0:
+                break
+        return alloc

@@ -1,0 +1,58 @@
+"""Cross-cloud virtual clusters: the unit of sky computing."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional
+
+from ..hypervisor.vm import VirtualMachine
+
+
+class VirtualCluster:
+    """A named set of VMs spanning one or more clouds.
+
+    Created by :meth:`repro.sky.federation.Federation.create_virtual_cluster`;
+    grows and shrinks at runtime through the federation (paper §II: "we
+    also exploited the extension capabilities of Hadoop to dynamically
+    adjust the virtual cluster size").
+    """
+
+    def __init__(self, name: str, federation, vms: List[VirtualMachine],
+                 image_name: str, master: Optional[VirtualMachine] = None):
+        self.name = name
+        self.federation = federation
+        self.vms = list(vms)
+        self.image_name = image_name
+        self.master = master or (vms[0] if vms else None)
+
+    def __len__(self) -> int:
+        return len(self.vms)
+
+    def __iter__(self):
+        return iter(self.vms)
+
+    @property
+    def workers(self) -> List[VirtualMachine]:
+        """All members except the master."""
+        return [vm for vm in self.vms if vm is not self.master]
+
+    def site_distribution(self) -> Dict[str, int]:
+        """How many members run at each site."""
+        return dict(Counter(vm.site for vm in self.vms))
+
+    def members_at(self, site: str) -> List[VirtualMachine]:
+        return [vm for vm in self.vms if vm.site == site]
+
+    def grow(self, count: int, cloud_name: Optional[str] = None,
+             memory_factory=None):
+        """Add ``count`` nodes (process; yields the new VMs)."""
+        return self.federation.grow_cluster(self, count, cloud_name,
+                                            memory_factory=memory_factory)
+
+    def shrink(self, vms: List[VirtualMachine]):
+        """Remove and terminate specific members."""
+        return self.federation.shrink_cluster(self, vms)
+
+    def __repr__(self):
+        return (f"<VirtualCluster {self.name!r} n={len(self.vms)} "
+                f"sites={self.site_distribution()}>")

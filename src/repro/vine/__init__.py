@@ -1,0 +1,31 @@
+"""ViNe: the virtual network overlay and its migration reconfiguration.
+
+Reproduces the two roles ViNe plays in the paper: providing all-to-all
+connectivity across NATed/firewalled clouds for sky-computing clusters
+(§II), and — with the thesis's extensions — transparently repairing
+overlay routing when a VM live-migrates between clouds so its TCP
+connections survive (§III-B).
+"""
+
+from .arp import ArpProxyTable, GratuitousArp, emit_gratuitous_arp
+from .overlay import (
+    ENCAPSULATION_OVERHEAD,
+    OverlayError,
+    VINE_NETWORK,
+    ViNeOverlay,
+)
+from .reconfig import MigrationReconfigurator, ReconfigurationRecord
+from .router import ViNeRouter
+
+__all__ = [
+    "ArpProxyTable",
+    "ENCAPSULATION_OVERHEAD",
+    "GratuitousArp",
+    "MigrationReconfigurator",
+    "OverlayError",
+    "ReconfigurationRecord",
+    "VINE_NETWORK",
+    "ViNeOverlay",
+    "ViNeRouter",
+    "emit_gratuitous_arp",
+]

@@ -1,0 +1,47 @@
+"""ViNe routers: per-site overlay gateways with location tables.
+
+Each site in a ViNe deployment runs one (user-level) ViNe router.  A
+router holds a *local network descriptor* — its copy of the mapping from
+overlay host addresses to the site currently hosting them — and
+forwards overlay packets through tunnels to the router of the
+destination site.  Routers behind NAT establish their tunnels outbound
+through a public **relay** router (queue-based traversal in real ViNe),
+which is how all-to-all connectivity survives private addressing and
+firewalls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class ViNeRouter:
+    """One site's overlay gateway."""
+
+    def __init__(self, site: str, processing_delay: float = 0.0002):
+        self.site = site
+        #: overlay host id -> site name believed to host it.
+        self.table: Dict[int, str] = {}
+        #: Per-packet forwarding delay of the user-level router.
+        self.processing_delay = processing_delay
+        #: Count of table updates applied (reconfiguration telemetry).
+        self.updates_applied = 0
+        #: Proxy-ARP entries for VMs that departed this site.
+        from .arp import ArpProxyTable
+        self.arp_proxy = ArpProxyTable(site)
+
+    def lookup(self, host: int) -> Optional[str]:
+        """Where this router believes overlay host ``host`` lives."""
+        return self.table.get(host)
+
+    def update(self, host: int, site: str) -> None:
+        """Apply a location update (VM joined or migrated)."""
+        self.table[host] = site
+        self.updates_applied += 1
+
+    def forget(self, host: int) -> None:
+        """Remove a departed VM."""
+        self.table.pop(host, None)
+
+    def __repr__(self):
+        return f"<ViNeRouter {self.site!r} entries={len(self.table)}>"

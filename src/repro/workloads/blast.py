@@ -1,0 +1,54 @@
+"""The MapReduce BLAST workload (paper §II's application).
+
+The paper validated sky computing by running "the MapReduce version of
+the BLAST bioinformatics application in virtual Hadoop clusters built on
+top of multiple distributed clouds".  BLAST-over-Hadoop is map-heavy and
+embarrassingly parallel: each map task aligns a batch of query sequences
+against a reference database (CPU-bound, minutes), emitting tiny outputs
+that a handful of reducers merge.
+
+Task-time variability is the one thing that matters for scaling shape
+(stragglers bound the makespan tail), so per-task CPU costs are drawn
+from a lognormal fit, the standard model for BLAST batch runtimes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mapreduce.job import MapReduceJob
+
+
+def blast_job(rng: np.random.Generator, n_query_batches: int = 64,
+              mean_batch_seconds: float = 90.0, sigma: float = 0.25,
+              n_reduces: int = 1, db_shard_bytes: float = 8 * 2**20,
+              output_bytes_per_map: float = 256 * 1024,
+              name: str = "blast") -> MapReduceJob:
+    """Build one BLAST job.
+
+    Parameters
+    ----------
+    n_query_batches:
+        Number of map tasks (query batches).
+    mean_batch_seconds:
+        Mean per-batch alignment time on a reference core.
+    sigma:
+        Lognormal shape (runtime variability across batches).
+    db_shard_bytes:
+        Input bytes a non-local map must fetch (query batch + DB shard
+        delta; the database itself ships with the VM image).
+    """
+    if n_query_batches <= 0:
+        raise ValueError("need at least one query batch")
+    if mean_batch_seconds <= 0:
+        raise ValueError("mean_batch_seconds must be positive")
+    mu = np.log(mean_batch_seconds) - sigma ** 2 / 2.0
+    map_cpu = rng.lognormal(mu, sigma, n_query_batches)
+    reduce_cpu = np.full(n_reduces, 5.0)
+    return MapReduceJob(
+        name=name,
+        map_cpu_seconds=map_cpu,
+        reduce_cpu_seconds=reduce_cpu,
+        split_bytes=db_shard_bytes,
+        map_output_bytes=output_bytes_per_map,
+    )

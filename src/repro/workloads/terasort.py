@@ -1,0 +1,40 @@
+"""A shuffle-heavy sort workload (the anti-BLAST).
+
+The paper is explicit that sky computing favors a particular shape:
+"the level of scaling depends on the type of applications:
+embarrassingly parallel applications are the most suited for executing
+on a distributed infrastructure."  TeraSort is the canonical opposite:
+trivial map CPU, but every byte of input crosses the network in the
+shuffle — so splitting the cluster across clouds drags the full dataset
+over the WAN.  The E3 bench uses it to reproduce the crossover the
+paper's caveat implies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mapreduce.job import MapReduceJob
+
+
+def terasort_job(rng: np.random.Generator, n_maps: int = 32,
+                 split_bytes: float = 64 * 2**20,
+                 n_reduces: int = 8,
+                 map_seconds_per_split: float = 4.0,
+                 reduce_seconds: float = 8.0,
+                 name: str = "terasort") -> MapReduceJob:
+    """Build a sort job: light CPU, shuffle volume == input volume."""
+    if n_maps <= 0 or n_reduces <= 0:
+        raise ValueError("terasort needs maps and reduces")
+    if split_bytes <= 0:
+        raise ValueError("split_bytes must be positive")
+    map_cpu = rng.uniform(0.9, 1.1, n_maps) * map_seconds_per_split
+    reduce_cpu = rng.uniform(0.9, 1.1, n_reduces) * reduce_seconds
+    return MapReduceJob(
+        name=name,
+        map_cpu_seconds=map_cpu,
+        reduce_cpu_seconds=reduce_cpu,
+        split_bytes=split_bytes,
+        # Sort is volume-preserving: each map emits its whole split.
+        map_output_bytes=split_bytes,
+    )

@@ -1,0 +1,204 @@
+"""Tests for the planner, monitors and adaptation engine."""
+
+import numpy as np
+import pytest
+
+from repro.autonomic import (
+    AdaptationEngine,
+    AdaptationTrigger,
+    AvailabilityMonitor,
+    CommunicationAwarePlanner,
+    DeadlineMonitor,
+    PlanningError,
+    PriceMonitor,
+    TriggerBus,
+    cross_traffic,
+    random_assignment,
+    round_robin_assignment,
+)
+from repro.patterns import TrafficMatrix
+from repro.simkernel import Simulator
+from repro.workloads.comm_patterns import clustered
+from repro.workloads.traces import SpotPriceProcess
+
+from tests.test_sky_federation import build_federation
+
+
+def clustered_matrix(n=8, group=4, volume=1e8, inter=0.02):
+    m = TrafficMatrix()
+    for i, j, v in clustered(n, volume, group_size=group,
+                             inter_group_fraction=inter):
+        m.record(f"vm{i}", f"vm{j}", v)
+    return m
+
+
+# -- planner ------------------------------------------------------------------
+
+
+def test_cross_traffic_computation():
+    m = TrafficMatrix()
+    m.record("a", "b", 100)
+    m.record("b", "c", 50)
+    assign = {"a": "x", "b": "x", "c": "y"}
+    assert cross_traffic(assign, m) == 50
+
+
+def test_planner_recovers_clusters():
+    m = clustered_matrix(n=8, group=4)
+    planner = CommunicationAwarePlanner()
+    vms = [f"vm{i}" for i in range(8)]
+    assignment = planner.plan(vms, m, {"cloud-a": 4, "cloud-b": 4})
+    groups = {}
+    for i in range(8):
+        groups.setdefault(assignment[f"vm{i}"], set()).add(i // 4)
+    # Each cloud hosts exactly one communication group.
+    assert all(len(g) == 1 for g in groups.values())
+    assert cross_traffic(assignment, m) < 0.1 * m.total_bytes
+
+
+def test_planner_beats_baselines():
+    m = clustered_matrix(n=12, group=4)
+    vms = [f"vm{i}" for i in range(12)]
+    clouds = {"a": 4, "b": 4, "c": 4}
+    planner = CommunicationAwarePlanner()
+    planned = planner.plan(vms, m, clouds)
+    rng = np.random.default_rng(0)
+    rand = random_assignment(vms, clouds, rng)
+    rr = round_robin_assignment(vms, clouds)
+    cut_planned = cross_traffic(planned, m)
+    assert cut_planned < 0.5 * cross_traffic(rand, m)
+    assert cut_planned < 0.5 * cross_traffic(rr, m)
+
+
+def test_planner_respects_capacity():
+    m = clustered_matrix(n=8, group=8)  # one big group
+    planner = CommunicationAwarePlanner()
+    vms = [f"vm{i}" for i in range(8)]
+    assignment = planner.plan(vms, m, {"small": 3, "big": 5})
+    from collections import Counter
+    counts = Counter(assignment.values())
+    assert counts["small"] <= 3
+    assert counts["big"] <= 5
+
+
+def test_planner_single_cloud():
+    planner = CommunicationAwarePlanner()
+    assignment = planner.plan(["a", "b"], TrafficMatrix(), {"only": 4})
+    assert assignment == {"a": "only", "b": "only"}
+
+
+def test_planner_capacity_error():
+    planner = CommunicationAwarePlanner()
+    with pytest.raises(PlanningError):
+        planner.plan(["a", "b", "c"], TrafficMatrix(), {"x": 2})
+    with pytest.raises(PlanningError):
+        random_assignment(["a", "b", "c"], {"x": 2},
+                          np.random.default_rng(0))
+    with pytest.raises(PlanningError):
+        round_robin_assignment(["a", "b", "c"], {"x": 2})
+
+
+def test_round_robin_fills_in_turn():
+    assign = round_robin_assignment(["a", "b", "c", "d"], {"x": 2, "y": 2})
+    assert assign == {"a": "x", "b": "y", "c": "x", "d": "y"}
+
+
+# -- monitors -----------------------------------------------------------------
+
+
+def test_price_monitor_threshold():
+    sim = Simulator()
+    bus = TriggerBus()
+    prices = SpotPriceProcess(
+        sim, np.array([0.0, 10.0, 20.0, 30.0]),
+        np.array([0.10, 0.11, 0.20, 0.05]))
+    PriceMonitor(bus, sim, "cloud-a", prices, threshold=0.5)
+    sim.run()
+    kinds = [(t.kind, t.detail["price"]) for t in bus.triggers]
+    # 0.11 is +10% (below threshold); 0.20 is +100%; 0.05 is -75%.
+    assert kinds == [("price", 0.20), ("price", 0.05)]
+
+
+def test_price_monitor_validation():
+    sim = Simulator()
+    bus = TriggerBus()
+    prices = SpotPriceProcess(sim, np.array([0.0]), np.array([0.1]))
+    with pytest.raises(ValueError):
+        PriceMonitor(bus, sim, "x", prices, threshold=0)
+
+
+def test_availability_monitor_detects_capacity_swing():
+    sim, fed = build_federation()
+    bus = TriggerBus()
+    AvailabilityMonitor(bus, sim, fed.clouds.values(), interval=100,
+                        threshold=4)
+    cluster_proc = fed.create_virtual_cluster("debian", 16)
+
+    sim.run(until=500)
+    assert any(t.kind == "availability" for t in bus.triggers)
+
+
+def test_deadline_monitor_fires_on_change():
+    sim = Simulator()
+    bus = TriggerBus()
+    mon = DeadlineMonitor(bus, sim)
+    mon.set_deadline(100.0)
+    assert bus.triggers == []  # first setting is not a change
+    mon.set_deadline(50.0)
+    assert len(bus.triggers) == 1
+    assert bus.triggers[0].detail == {"deadline": 50.0, "previous": 100.0}
+
+
+def test_trigger_bus_subscription():
+    bus = TriggerBus()
+    seen = []
+    bus.subscribe(seen.append)
+    t = AdaptationTrigger("price", 0.0)
+    bus.emit(t)
+    assert seen == [t]
+
+
+# -- engine -------------------------------------------------------------------
+
+
+def test_adaptation_engine_repartitions_cluster():
+    sim, fed = build_federation(hosts_per_cloud=6)
+    cluster = sim.run(until=fed.create_virtual_cluster("debian", 8))
+    vms = cluster.vms
+    # Ground-truth communication: two groups of 4 *interleaved* across
+    # the clouds (members 0,2,4,6 chat heavily, as do 1,3,5,7) — the
+    # placement Balanced produced is the worst case for this pattern.
+    m = TrafficMatrix()
+    for i in range(8):
+        for j in range(8):
+            if i == j:
+                continue
+            v = 1e8 if (i % 2) == (j % 2) else 2e6
+            m.record(vms[i].name, vms[j].name, v)
+    engine = AdaptationEngine(fed)
+    report = sim.run(until=engine.adapt(vms, m))
+    assert report.cut_after < report.cut_before * 0.2
+    assert report.migrations > 0
+    # The executed placement matches the plan.
+    for vm in vms:
+        assert vm.site == report.planned[vm.name]
+    # Billing moved with the VMs.
+    for vm in vms:
+        assert vm in fed.cloud_of(vm).instances
+
+
+def test_adaptation_engine_skips_marginal_plans():
+    sim, fed = build_federation()
+    cluster = sim.run(until=fed.create_virtual_cluster("debian", 8))
+    vms = cluster.vms
+    # Communication groups already colocated (Balanced placed vms[0:4]
+    # on cloud-a, vms[4:8] on cloud-b; groups follow that split): the
+    # current cut is already optimal, so no migration is worthwhile.
+    m = TrafficMatrix()
+    for i, j, v in clustered(8, 1e8, group_size=4,
+                             inter_group_fraction=0.02):
+        m.record(vms[i].name, vms[j].name, v)
+    engine = AdaptationEngine(fed, min_improvement=0.10)
+    report = sim.run(until=engine.adapt(vms, m))
+    assert report.migrations == 0
+    assert report.cut_after >= report.cut_before * 0.9

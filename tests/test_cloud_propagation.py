@@ -1,0 +1,98 @@
+"""Tests for image-propagation strategies (E5's mechanics)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    BroadcastChainPropagation,
+    CowPropagation,
+    HostImageCache,
+    UnicastPropagation,
+    make_image,
+)
+from repro.hypervisor import PhysicalHost
+from repro.network import FlowScheduler, Site, Topology, gbit_per_s
+from repro.simkernel import Simulator
+
+
+def build(n_hosts, strategy_cls, **kwargs):
+    sim = Simulator()
+    topo = Topology()
+    topo.add_site(Site("s", lan_bandwidth=gbit_per_s(10)))
+    sched = FlowScheduler(sim, topo)
+    cache = HostImageCache()
+    strategy = strategy_cls(sim, sched, cache, **kwargs)
+    hosts = [PhysicalHost(f"h{i}", "s") for i in range(n_hosts)]
+    rng = np.random.default_rng(0)
+    image = make_image("img", rng, n_blocks=65536)  # 256 MiB
+    return sim, strategy, hosts, image, cache
+
+
+def deploy_time(n_hosts, strategy_cls, **kwargs):
+    sim, strategy, hosts, image, cache = build(n_hosts, strategy_cls, **kwargs)
+    stats = sim.run(until=strategy.deploy(image, hosts))
+    return stats, cache, hosts
+
+
+def test_unicast_scales_linearly():
+    s4, *_ = deploy_time(4, UnicastPropagation)
+    s16, *_ = deploy_time(16, UnicastPropagation)
+    # Repo uplink shared: 4x the hosts ~ 4x the time.
+    assert s16.duration == pytest.approx(4 * s4.duration, rel=0.1)
+    assert s16.bytes_moved == 16 * 256 * 2**20
+
+
+def test_chain_is_flat_in_cluster_size():
+    s4, *_ = deploy_time(4, BroadcastChainPropagation)
+    s32, *_ = deploy_time(32, BroadcastChainPropagation)
+    # Only the per-hop setup grows: far from linear.
+    assert s32.duration < 2 * s4.duration
+
+
+def test_chain_beats_unicast():
+    chain, *_ = deploy_time(16, BroadcastChainPropagation)
+    uni, *_ = deploy_time(16, UnicastPropagation)
+    assert chain.duration < uni.duration / 4
+
+
+def test_cow_cold_cache_pays_chain_then_warm_is_instant():
+    sim, strategy, hosts, image, cache = build(8, CowPropagation)
+    cold = sim.run(until=strategy.deploy(image, hosts))
+    assert cold.bytes_moved > 0
+    warm = sim.run(until=strategy.deploy(image, hosts))
+    assert warm.bytes_moved == 0
+    assert warm.cache_hits == 8
+    assert warm.duration == pytest.approx(strategy.overlay_setup, rel=0.01)
+
+
+def test_cow_warm_is_near_instant_vs_unicast():
+    sim, strategy, hosts, image, cache = build(8, CowPropagation)
+    sim.run(until=strategy.deploy(image, hosts))  # warm the cache
+    warm = sim.run(until=strategy.deploy(image, hosts))
+    uni, *_ = deploy_time(8, UnicastPropagation)
+    assert warm.duration < uni.duration / 100
+
+
+def test_cache_tracks_hosts():
+    stats, cache, hosts = deploy_time(4, UnicastPropagation)
+    assert all(cache.has(h, "img") for h in hosts)
+    cache.evict(hosts[0], "img")
+    assert not cache.has(hosts[0], "img")
+
+
+def test_partial_cache_only_moves_missing():
+    sim, strategy, hosts, image, cache = build(4, UnicastPropagation)
+    cache.put(hosts[0], image.name)
+    cache.put(hosts[1], image.name)
+    stats = sim.run(until=strategy.deploy(image, hosts))
+    assert stats.bytes_moved == 2 * image.size_bytes
+    assert stats.cache_hits == 2
+
+
+def test_deploy_requires_hosts_single_site():
+    sim, strategy, hosts, image, cache = build(2, UnicastPropagation)
+    with pytest.raises(ValueError):
+        strategy.deploy(image, [])
+    foreign = PhysicalHost("f", "other-site")
+    with pytest.raises(ValueError):
+        strategy.deploy(image, [hosts[0], foreign])

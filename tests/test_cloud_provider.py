@@ -1,0 +1,185 @@
+"""Tests for the IaaS provider: provisioning, quotas, billing, context."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    Cloud,
+    CloudError,
+    ContextBroker,
+    ImageError,
+    InstanceSpec,
+    QuotaExceeded,
+    make_image,
+)
+from repro.hypervisor import CowDisk, PhysicalHost, VMState
+from repro.network import FlowScheduler, Site, Topology, gbit_per_s
+from repro.simkernel import Simulator
+
+
+def build_cloud(n_hosts=4, quota=None, sim=None):
+    sim = sim or Simulator()
+    topo = Topology()
+    site = topo.add_site(Site("rennes", lan_bandwidth=gbit_per_s(10)))
+    sched = FlowScheduler(sim, topo)
+    hosts = [
+        PhysicalHost(f"r{i}", "rennes", cores=16, ram_bytes=64 * 2**30)
+        for i in range(n_hosts)
+    ]
+    cloud = Cloud(sim, sched, site, hosts, quota=quota, boot_delay=5.0)
+    rng = np.random.default_rng(0)
+    cloud.repository.register(make_image("debian", rng, n_blocks=8192,
+                                         default_memory_pages=4096))
+    return sim, cloud
+
+
+def test_cloud_requires_hosts_and_site_match():
+    sim = Simulator()
+    topo = Topology()
+    site = topo.add_site(Site("a"))
+    sched = FlowScheduler(sim, topo)
+    with pytest.raises(ValueError):
+        Cloud(sim, sched, site, [])
+    with pytest.raises(ValueError):
+        Cloud(sim, sched, site, [PhysicalHost("x", "elsewhere")])
+
+
+def test_run_instances_provisions_and_boots():
+    sim, cloud = build_cloud()
+    vms = sim.run(until=cloud.run_instances("debian", 3))
+    assert len(vms) == 3
+    assert all(vm.state is VMState.RUNNING for vm in vms)
+    assert all(vm.site == "rennes" for vm in vms)
+    assert all(vm.has_address for vm in vms)
+    assert all(isinstance(vm.disk, CowDisk) for vm in vms)
+    assert len({vm.address for vm in vms}) == 3
+    assert len(cloud.instances) == 3
+    assert sim.now >= 5.0  # at least the boot delay
+
+
+def test_unknown_image_rejected():
+    sim, cloud = build_cloud()
+    with pytest.raises(ImageError):
+        cloud.run_instances("ghost", 1)
+
+
+def test_count_validation():
+    sim, cloud = build_cloud()
+    with pytest.raises(ValueError):
+        cloud.run_instances("debian", 0)
+
+
+def test_quota_enforced():
+    sim, cloud = build_cloud(quota=2)
+    sim.run(until=cloud.run_instances("debian", 2))
+    with pytest.raises(QuotaExceeded):
+        cloud.run_instances("debian", 1)
+
+
+def test_capacity_exhaustion_raises():
+    sim, cloud = build_cloud(n_hosts=1)
+    # 16 cores per host; 17 single-vCPU instances cannot fit.
+    proc = cloud.run_instances("debian", 17)
+    with pytest.raises(CloudError):
+        sim.run(until=proc)
+
+
+def test_instances_spread_over_hosts():
+    sim, cloud = build_cloud(n_hosts=4)
+    vms = sim.run(until=cloud.run_instances("debian", 8))
+    used_hosts = {vm.host.name for vm in vms}
+    assert len(used_hosts) >= 2
+
+
+def test_memory_factory_used():
+    sim, cloud = build_cloud()
+    from repro.workloads import idle
+    profile = idle()
+    rng = np.random.default_rng(1)
+    vms = sim.run(until=cloud.run_instances(
+        "debian", 1,
+        memory_factory=lambda name: profile.generate_memory(rng, 4096),
+    ))
+    assert vms[0].memory.duplication_ratio() > 0.1
+
+
+def test_memory_factory_size_mismatch_rejected():
+    sim, cloud = build_cloud()
+    from repro.hypervisor import MemoryImage
+    proc = cloud.run_instances(
+        "debian", 1, memory_factory=lambda name: MemoryImage(16))
+    with pytest.raises(CloudError):
+        sim.run(until=proc)
+
+
+def test_terminate_releases_and_bills():
+    sim, cloud = build_cloud()
+    vms = sim.run(until=cloud.run_instances("debian", 1))
+    vm = vms[0]
+    host = vm.host
+    sim.run(until=sim.now + 3600)  # run one hour
+    cost = cloud.terminate(vm)
+    assert cost == pytest.approx(cloud.pricing.on_demand_hourly, rel=0.01)
+    assert vm.state is VMState.STOPPED
+    assert vm not in host.vms
+    assert cloud.instances == []
+
+
+def test_terminate_foreign_vm_rejected():
+    sim, cloud = build_cloud()
+    from repro.hypervisor import MemoryImage, VirtualMachine
+    stranger = VirtualMachine(sim, "stranger", MemoryImage(16))
+    with pytest.raises(CloudError):
+        cloud.terminate(stranger)
+
+
+def test_adopt_and_release_for_cross_cloud_migration():
+    sim, cloud = build_cloud()
+    vms = sim.run(until=cloud.run_instances("debian", 1))
+    vm = vms[0]
+    t0 = sim.now
+    cost_out = cloud.release(vm)
+    assert vm.state is VMState.RUNNING  # still running: it migrated
+    cloud.adopt(vm, hourly_rate=0.2)
+    with pytest.raises(CloudError):
+        cloud.adopt(vm)
+    sim.run(until=t0 + 1800)
+    assert cloud.compute_cost() == pytest.approx(cost_out + 0.1, rel=0.05)
+
+
+def test_compute_cost_includes_running_instances():
+    sim, cloud = build_cloud()
+    sim.run(until=cloud.run_instances("debian", 2))
+    start = sim.now
+    sim.run(until=start + 7200)
+    expected = 2 * 2 * cloud.pricing.on_demand_hourly  # 2 VMs x 2 h
+    assert cloud.compute_cost() == pytest.approx(expected, rel=0.01)
+
+
+def test_second_cluster_boots_faster_with_warm_cache():
+    sim, cloud = build_cloud(n_hosts=2)
+    t0 = sim.now
+    sim.run(until=cloud.run_instances("debian", 2))
+    first = sim.now - t0
+    t1 = sim.now
+    sim.run(until=cloud.run_instances("debian", 2))
+    second = sim.now - t1
+    assert second < first  # base image cached on the hosts
+
+
+def test_contextualization_barrier():
+    sim, cloud = build_cloud()
+    vms = sim.run(until=cloud.run_instances("debian", 4))
+    result = sim.run(until=cloud.context_broker.contextualize(
+        vms, roles={vms[0].name: "hadoop-master"}))
+    assert result.cluster_size == 4
+    assert result.roles[vms[0].name] == "hadoop-master"
+    assert result.roles[vms[1].name] == "worker"
+    assert result.all_joined_at <= result.completed_at
+    assert result.duration >= cloud.context_broker.role_script_time
+
+
+def test_contextualize_empty_rejected():
+    sim, cloud = build_cloud()
+    with pytest.raises(ValueError):
+        cloud.context_broker.contextualize([])

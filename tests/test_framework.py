@@ -1,0 +1,95 @@
+"""Tests for the unified dynamic-infrastructure framework."""
+
+import numpy as np
+import pytest
+
+from repro.framework import DynamicInfrastructure
+from repro.testbeds import SiteSpec, sky_testbed
+from repro.workloads import run_pattern
+
+
+def build(n_hosts=12):
+    tb = sky_testbed(
+        sites=[SiteSpec("rennes", region="eu", n_hosts=n_hosts),
+               SiteSpec("chicago", region="us", n_hosts=n_hosts)],
+        memory_pages=1024, image_blocks=4096,
+    )
+    infra = DynamicInfrastructure(tb)
+    return tb, infra
+
+
+def striped(n, heavy=4e6, light=5e4):
+    return [(i, j, heavy if i % 2 == j % 2 else light)
+            for i in range(n) for j in range(n) if i != j]
+
+
+def test_create_cluster_via_framework():
+    tb, infra = build()
+    cluster = tb.sim.run(until=infra.create_cluster(4))
+    assert len(cluster) == 4
+    assert len(cluster.site_distribution()) == 2
+
+
+def test_daemon_adapts_to_observed_traffic():
+    tb, infra = build()
+    sim = tb.sim
+    cluster = sim.run(until=infra.create_cluster(8))
+    infra.watch(cluster, interval=60.0)
+
+    # Drive interleaved-group traffic for a few windows.
+    def workload(sim):
+        for _ in range(4):
+            yield run_pattern(sim, tb.scheduler, cluster.vms,
+                              striped(8), rounds=1, interval=20.0)
+
+    sim.process(workload(sim))
+    sim.run(until=sim.now + 400)
+    # The daemon observed the pattern and repartitioned the cluster.
+    assert infra.total_adaptations >= 1
+    assert infra.migrations_executed() > 0
+    evens = {vm.site for i, vm in enumerate(cluster.vms) if i % 2 == 0}
+    odds = {vm.site for i, vm in enumerate(cluster.vms) if i % 2 == 1}
+    assert len(evens) == 1 and len(odds) == 1 and evens != odds
+
+
+def test_daemon_idle_when_no_traffic():
+    tb, infra = build()
+    cluster = tb.sim.run(until=infra.create_cluster(4))
+    state = infra.watch(cluster, interval=30.0)
+    tb.sim.run(until=tb.sim.now + 200)
+    assert state.rounds >= 5
+    assert state.reports == []  # nothing observed, nothing moved
+
+
+def test_daemon_windows_are_deltas():
+    tb, infra = build()
+    sim = tb.sim
+    cluster = sim.run(until=infra.create_cluster(4))
+    state = infra.watch(cluster, interval=1e9)  # never fires on its own
+    sim.run(until=run_pattern(sim, tb.scheduler, cluster.vms,
+                              [(0, 1, 1e6)], rounds=1))
+    w1 = infra.window_matrix(state)
+    assert w1.total_bytes > 0
+    w2 = infra.window_matrix(state)
+    assert w2.total_bytes == 0  # consumed by the first window
+
+
+def test_watch_twice_rejected_and_unwatch():
+    tb, infra = build()
+    cluster = tb.sim.run(until=infra.create_cluster(2))
+    infra.watch(cluster, interval=10.0)
+    with pytest.raises(ValueError):
+        infra.watch(cluster)
+    infra.unwatch(cluster)
+    infra.watch(cluster, interval=10.0)  # re-watch after unwatch is fine
+
+
+def test_window_ignores_foreign_traffic():
+    tb, infra = build()
+    sim = tb.sim
+    cluster = sim.run(until=infra.create_cluster(2))
+    other = sim.run(until=infra.create_cluster(2))
+    state = infra.watch(cluster, interval=1e9)
+    sim.run(until=run_pattern(sim, tb.scheduler, other.vms,
+                              [(0, 1, 1e6)], rounds=1))
+    assert infra.window_matrix(state).total_bytes == 0

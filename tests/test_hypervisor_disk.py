@@ -1,0 +1,87 @@
+"""Tests for flat and copy-on-write disk images."""
+
+import numpy as np
+import pytest
+
+from repro.hypervisor import CowDisk, DiskImage
+
+
+def test_flat_disk_sizes():
+    disk = DiskImage("base", n_blocks=1024)
+    assert disk.size_bytes == 1024 * 4096
+    assert disk.materialized_bytes == disk.size_bytes
+
+
+def test_flat_disk_validation():
+    with pytest.raises(ValueError):
+        DiskImage("bad", 0)
+    with pytest.raises(ValueError):
+        DiskImage("bad", 8, fingerprints=np.zeros(4, dtype=np.uint64))
+
+
+def test_flat_disk_write_and_clone():
+    disk = DiskImage("base", 16)
+    disk.write(np.array([3]), np.array([99], dtype=np.uint64))
+    clone = disk.clone("copy")
+    assert clone.blocks()[3] == 99
+    clone.write(np.array([3]), np.array([7], dtype=np.uint64))
+    assert disk.blocks()[3] == 99  # deep copy
+
+
+def test_cow_reads_fall_through_to_base():
+    base = DiskImage("base", 16,
+                     fingerprints=np.arange(1, 17, dtype=np.uint64))
+    cow = CowDisk("vm1-disk", base)
+    assert np.array_equal(cow.blocks(), base.blocks())
+    assert cow.overlay_blocks == 0
+    assert cow.materialized_bytes == 0
+
+
+def test_cow_write_lands_in_overlay():
+    base = DiskImage("base", 16)
+    cow = CowDisk("vm1-disk", base)
+    cow.write(np.array([2, 5]), np.array([100, 200], dtype=np.uint64))
+    assert cow.overlay_blocks == 2
+    assert cow.materialized_bytes == 2 * 4096
+    view = cow.blocks()
+    assert view[2] == 100 and view[5] == 200
+    # The base is untouched.
+    assert base.blocks()[2] == 0
+
+
+def test_cow_overwrite_same_block_counts_once():
+    base = DiskImage("base", 16)
+    cow = CowDisk("d", base)
+    cow.write(np.array([2]), np.array([1], dtype=np.uint64))
+    cow.write(np.array([2]), np.array([9], dtype=np.uint64))
+    assert cow.overlay_blocks == 1
+    assert cow.blocks()[2] == 9
+
+
+def test_cow_overlay_fingerprints():
+    base = DiskImage("base", 16)
+    cow = CowDisk("d", base)
+    assert len(cow.overlay_fingerprints()) == 0
+    cow.write(np.array([1, 2]), np.array([7, 8], dtype=np.uint64))
+    assert sorted(cow.overlay_fingerprints().tolist()) == [7, 8]
+
+
+def test_cow_flatten():
+    base = DiskImage("base", 8,
+                     fingerprints=np.arange(1, 9, dtype=np.uint64))
+    cow = CowDisk("d", base)
+    cow.write(np.array([0]), np.array([42], dtype=np.uint64))
+    flat = cow.flatten("flat")
+    assert isinstance(flat, DiskImage)
+    assert flat.blocks()[0] == 42
+    assert flat.blocks()[1] == 2
+    assert flat.materialized_bytes == base.size_bytes
+
+
+def test_shared_base_for_many_overlays():
+    base = DiskImage("base", 16)
+    cows = [CowDisk(f"d{i}", base) for i in range(10)]
+    cows[0].write(np.array([1]), np.array([1], dtype=np.uint64))
+    # Other overlays are unaffected by a sibling's write.
+    assert all(c.overlay_blocks == 0 for c in cows[1:])
+    assert cows[1].blocks()[1] == 0

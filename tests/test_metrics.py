@@ -1,0 +1,126 @@
+"""Tests for the metrics/instrumentation module."""
+
+import pytest
+
+from repro.metrics import (
+    MetricsRecorder,
+    Probe,
+    TimeSeries,
+    active_flow_sampler,
+    link_utilization_sampler,
+)
+from repro.network import FlowScheduler, Site, Topology
+from repro.simkernel import Simulator
+
+
+def test_timeseries_basics():
+    ts = TimeSeries("x")
+    ts.record(0.0, 10)
+    ts.record(1.0, 20)
+    assert ts.times() == [0.0, 1.0]
+    assert ts.values() == [10, 20]
+    assert ts.last() == 20
+    assert ts.mean() == 15
+    assert ts.maximum() == 20
+    assert len(ts) == 2
+
+
+def test_timeseries_rejects_time_travel():
+    ts = TimeSeries("x")
+    ts.record(5.0, 1)
+    with pytest.raises(ValueError):
+        ts.record(4.0, 2)
+
+
+def test_timeseries_empty_stats_raise():
+    ts = TimeSeries("x")
+    assert ts.last() is None
+    with pytest.raises(ValueError):
+        ts.mean()
+    with pytest.raises(ValueError):
+        ts.maximum()
+
+
+def test_timeseries_integration():
+    ts = TimeSeries("x")
+    ts.record(0.0, 2.0)
+    ts.record(3.0, 5.0)
+    ts.record(4.0, 0.0)
+    # 2*3 + 5*1 (last sample carries no width).
+    assert ts.integrate() == pytest.approx(11.0)
+
+
+def test_probe_samples_periodically():
+    sim = Simulator()
+    metrics = MetricsRecorder(sim)
+    state = {"v": 0}
+
+    def advance():
+        state["v"] += 10
+        return state["v"]
+
+    metrics.probe("gauge", advance, interval=2.0)
+    sim.run(until=7)
+    assert metrics.series("gauge").values() == [10, 20, 30]
+    assert metrics.series("gauge").times() == [2.0, 4.0, 6.0]
+
+
+def test_probe_stop():
+    sim = Simulator()
+    metrics = MetricsRecorder(sim)
+    probe = metrics.probe("g", lambda: 1, interval=1.0)
+
+    def stopper(sim):
+        yield sim.timeout(3.5)
+        probe.stop()
+
+    sim.process(stopper(sim))
+    sim.run(until=10)
+    assert len(metrics.series("g")) == 3
+
+
+def test_probe_interval_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        MetricsRecorder(sim).probe("g", lambda: 1, interval=0)
+
+
+def test_recorder_record_and_export():
+    sim = Simulator()
+    metrics = MetricsRecorder(sim)
+    metrics.record("events", 1)
+    assert metrics.names() == ["events"]
+    assert metrics.as_dict() == {"events": [(0.0, 1)]}
+    csv = metrics.to_csv("events")
+    assert csv == "time,value\n0.0,1\n"
+
+
+def test_link_utilization_probe_tracks_flows():
+    sim = Simulator()
+    topo = Topology()
+    topo.add_site(Site("a"))
+    topo.add_site(Site("b"))
+    topo.connect("a", "b", bandwidth=1e6, latency=0.0)
+    sched = FlowScheduler(sim, topo)
+    link = topo.path("a", "b")[0]
+    metrics = MetricsRecorder(sim)
+    metrics.probe("util", link_utilization_sampler(sched, link),
+                  interval=0.5)
+    metrics.probe("flows", active_flow_sampler(sched), interval=0.5)
+    sched.start_flow("a", "b", 2e6)  # saturates for 2 s
+    sim.run(until=4)
+    util = metrics.series("util").values()
+    # Fully utilized while the flow runs, idle afterwards.
+    assert util[0] == pytest.approx(1.0)
+    assert util[-1] == 0.0
+    flows = metrics.series("flows").values()
+    assert flows[0] == 1 and flows[-1] == 0
+
+
+def test_doctest_in_metrics_module():
+    import doctest
+
+    import repro.metrics
+
+    failures, _ = doctest.testmod(repro.metrics)
+    assert failures == 0

@@ -1,0 +1,127 @@
+"""Property-based tests (hypothesis) for flow-scheduler invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.network import FlowScheduler, Site, Topology
+from repro.simkernel import Simulator
+
+
+def star_topology(n_leaves, bw):
+    """Hub-and-spoke: every leaf connects to a hub."""
+    topo = Topology()
+    topo.add_site(Site("hub"))
+    for i in range(n_leaves):
+        topo.add_site(Site(f"leaf{i}"))
+        topo.connect("hub", f"leaf{i}", bandwidth=bw, latency=0.0)
+    return topo
+
+
+@given(
+    sizes=st.lists(st.floats(min_value=1e3, max_value=1e8), min_size=1,
+                   max_size=8),
+    bw=st.floats(min_value=1e4, max_value=1e9),
+)
+@settings(max_examples=40, deadline=None)
+def test_all_flows_complete_and_conserve_bytes(sizes, bw):
+    """Every flow finishes, transfers exactly its size, in finite time."""
+    sim = Simulator()
+    topo = Topology()
+    topo.add_site(Site("a"))
+    topo.add_site(Site("b"))
+    topo.connect("a", "b", bandwidth=bw, latency=0.0)
+    sched = FlowScheduler(sim, topo)
+    flows = [sched.start_flow("a", "b", size=s) for s in sizes]
+    sim.run()
+    total = sum(sizes)
+    lower = total / bw  # perfect pipelining bound
+    assert all(f.done.triggered and f.done.ok for f in flows)
+    assert all(f.remaining == 0 for f in flows)
+    # Aggregate completion time can never beat the shared-link bound.
+    assert sim.now >= lower * (1 - 1e-6)
+    # Sequential upper bound (fair sharing never loses throughput on one link).
+    assert sim.now <= lower * (1 + 1e-6) + 1e-9
+
+
+@given(
+    n_pairs=st.integers(min_value=1, max_value=5),
+    bw=st.floats(min_value=1e5, max_value=1e8),
+    size=st.floats(min_value=1e4, max_value=1e7),
+)
+@settings(max_examples=25, deadline=None)
+def test_identical_flows_finish_simultaneously(n_pairs, bw, size):
+    """Symmetry: identical flows sharing one link end at the same instant."""
+    sim = Simulator()
+    topo = Topology()
+    topo.add_site(Site("a"))
+    topo.add_site(Site("b"))
+    topo.connect("a", "b", bandwidth=bw, latency=0.0)
+    sched = FlowScheduler(sim, topo)
+    flows = [sched.start_flow("a", "b", size=size) for _ in range(n_pairs)]
+    sim.run()
+    finish_times = [f.finished_at for f in flows]
+    expected = n_pairs * size / bw
+    for t in finish_times:
+        assert math.isclose(t, expected, rel_tol=1e-6)
+
+
+@given(
+    leaf_count=st.integers(min_value=2, max_value=5),
+    size=st.floats(min_value=1e5, max_value=1e7),
+)
+@settings(max_examples=20, deadline=None)
+def test_disjoint_paths_do_not_interfere(leaf_count, size):
+    """Flows on disjoint spokes of a star run at full link speed."""
+    bw = 1e6
+    sim = Simulator()
+    topo = star_topology(leaf_count, bw)
+    sched = FlowScheduler(sim, topo)
+    flows = [
+        sched.start_flow("hub", f"leaf{i}", size=size)
+        for i in range(leaf_count)
+    ]
+    sim.run()
+    for f in flows:
+        assert math.isclose(f.finished_at, size / bw, rel_tol=1e-6)
+
+
+@given(
+    sizes=st.lists(st.floats(min_value=1e4, max_value=1e7), min_size=2,
+                   max_size=6),
+)
+@settings(max_examples=25, deadline=None)
+def test_work_conservation_on_shared_link(sizes):
+    """The shared link is never idle while flows remain: makespan == sum/bw."""
+    bw = 1e6
+    sim = Simulator()
+    topo = Topology()
+    topo.add_site(Site("a"))
+    topo.add_site(Site("b"))
+    topo.connect("a", "b", bandwidth=bw, latency=0.0)
+    sched = FlowScheduler(sim, topo)
+    for s in sizes:
+        sched.start_flow("a", "b", size=s)
+    sim.run()
+    assert math.isclose(sim.now, sum(sizes) / bw, rel_tol=1e-6)
+
+
+@given(
+    cap_fraction=st.floats(min_value=0.05, max_value=0.95),
+)
+@settings(max_examples=20, deadline=None)
+def test_rate_cap_never_exceeded(cap_fraction):
+    """A capped flow's average rate never exceeds its cap."""
+    bw = 1e6
+    size = 1e6
+    sim = Simulator()
+    topo = Topology()
+    topo.add_site(Site("a"))
+    topo.add_site(Site("b"))
+    topo.connect("a", "b", bandwidth=bw, latency=0.0)
+    sched = FlowScheduler(sim, topo)
+    cap = cap_fraction * bw
+    flow = sched.start_flow("a", "b", size=size, rate_cap=cap)
+    sim.run()
+    avg_rate = size / flow.finished_at
+    assert avg_rate <= cap * (1 + 1e-6)

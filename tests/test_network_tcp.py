@@ -1,0 +1,244 @@
+"""Tests for the TCP connection model, addressing and NAT resolver."""
+
+import pytest
+
+from repro.network import (
+    Address,
+    AddressPool,
+    Connection,
+    ConnectionBroken,
+    ConnectionState,
+    FlowScheduler,
+    PlainIPResolver,
+    Route,
+    Site,
+    Topology,
+)
+from repro.simkernel import Simulator
+
+
+class FakeVM:
+    """Minimal endpoint: a named entity at a site with an address."""
+
+    def __init__(self, name, site, address):
+        self.name = name
+        self._site = site
+        self._address = address
+
+    @property
+    def site(self):
+        return self._site
+
+    @property
+    def address(self):
+        return self._address
+
+    def move(self, site, address=None):
+        self._site = site
+        if address is not None:
+            self._address = address
+
+
+def build():
+    sim = Simulator()
+    topo = Topology()
+    topo.add_site(Site("s1"))
+    topo.add_site(Site("s2"))
+    topo.add_site(Site("s3"))
+    topo.connect("s1", "s2", bandwidth=1e6, latency=0.0)
+    topo.connect("s2", "s3", bandwidth=1e6, latency=0.0)
+    sched = FlowScheduler(sim, topo)
+    resolver = PlainIPResolver(topo)
+    return sim, topo, sched, resolver
+
+
+def test_address_pool_allocates_unique():
+    pool = AddressPool("net")
+    a1 = pool.allocate("vm1")
+    a2 = pool.allocate("vm2")
+    assert a1 != a2
+    assert pool.in_use == 2
+    pool.release(a1)
+    assert pool.in_use == 1
+
+
+def test_address_pool_rejects_foreign_release():
+    pool = AddressPool("net")
+    with pytest.raises(ValueError):
+        pool.release(Address("other", 1))
+
+
+def test_plain_resolver_routes_public_sites():
+    sim, topo, sched, resolver = build()
+    a = FakeVM("a", "s1", Address("s1", 1))
+    b = FakeVM("b", "s2", Address("s2", 1))
+    route = resolver.resolve(a, b)
+    assert isinstance(route, Route)
+    assert route.src_site == "s1" and route.dst_site == "s2"
+
+
+def test_plain_resolver_blocks_natted_destination():
+    sim = Simulator()
+    topo = Topology()
+    topo.add_site(Site("pub"))
+    topo.add_site(Site("priv", public_addresses=False))
+    topo.connect("pub", "priv", bandwidth=1e6, latency=0.0)
+    resolver = PlainIPResolver(topo)
+    a = FakeVM("a", "pub", Address("pub", 1))
+    b = FakeVM("b", "priv", Address("priv", 1))
+    assert resolver.resolve(a, b) is None
+    assert resolver.resolve(b, a) is not None
+
+
+def test_plain_resolver_detects_stale_address():
+    sim, topo, sched, resolver = build()
+    a = FakeVM("a", "s1", Address("s1", 1))
+    b = FakeVM("b", "s2", Address("s2", 1))
+    b.move("s3")  # moved without getting a new address
+    assert resolver.resolve(a, b) is None
+
+
+def test_connection_send_delivers_bytes():
+    sim, topo, sched, resolver = build()
+    a = FakeVM("a", "s1", Address("s1", 1))
+    b = FakeVM("b", "s2", Address("s2", 1))
+    conn = Connection(sim, sched, resolver, a, b)
+    delivered = []
+
+    def app(sim):
+        n = yield conn.send(1e6)
+        delivered.append((n, sim.now))
+
+    sim.process(app(sim))
+    sim.run()
+    assert delivered == [(1e6, pytest.approx(1.0))]
+    assert conn.bytes_delivered == 1e6
+    assert conn.alive
+
+
+def test_connection_send_reverse_direction():
+    sim, topo, sched, resolver = build()
+    a = FakeVM("a", "s1", Address("s1", 1))
+    b = FakeVM("b", "s2", Address("s2", 1))
+    conn = Connection(sim, sched, resolver, a, b)
+    done = []
+
+    def app(sim):
+        yield conn.send(5e5, sender=b)
+        done.append(sim.now)
+
+    sim.process(app(sim))
+    sim.run()
+    assert done == [pytest.approx(0.5)]
+
+
+def test_connection_establish_fails_without_route():
+    sim = Simulator()
+    topo = Topology()
+    topo.add_site(Site("x"))
+    topo.add_site(Site("island"))
+    sched = FlowScheduler(sim, topo)
+    resolver = PlainIPResolver(topo)
+    a = FakeVM("a", "x", Address("x", 1))
+    b = FakeVM("b", "island", Address("island", 1))
+    with pytest.raises(ConnectionBroken):
+        Connection(sim, sched, resolver, a, b)
+
+
+def test_connection_breaks_on_address_change():
+    """Paper SIII: migration across LANs forces a new address -> TCP dies."""
+    sim, topo, sched, resolver = build()
+    a = FakeVM("a", "s1", Address("s1", 1))
+    b = FakeVM("b", "s2", Address("s2", 1))
+    conn = Connection(sim, sched, resolver, a, b)
+    outcomes = []
+
+    def app(sim):
+        yield conn.send(1e5)
+        # b "migrates" to s3 and is renumbered, as plain IP requires.
+        b.move("s3", Address("s3", 1))
+        try:
+            yield conn.send(1e5)
+        except ConnectionBroken:
+            outcomes.append("broken")
+
+    sim.process(app(sim))
+    sim.run()
+    assert outcomes == ["broken"]
+    assert conn.state is ConnectionState.BROKEN
+
+
+def test_connection_breaks_after_rto_budget_when_unroutable():
+    sim, topo, sched, resolver = build()
+    a = FakeVM("a", "s1", Address("s1", 1))
+    b = FakeVM("b", "s2", Address("s2", 1))
+    conn = Connection(sim, sched, resolver, a, b, rto_budget=2.0,
+                      retry_interval=0.1)
+    outcomes = []
+
+    def app(sim):
+        # Peer moves but keeps its (now wrong-network) address: route
+        # resolution fails but addresses look unchanged -> stall path.
+        b.move("s3")
+        try:
+            yield conn.send(1e5)
+        except ConnectionBroken:
+            outcomes.append(sim.now)
+
+    sim.process(app(sim))
+    sim.run()
+    assert outcomes and outcomes[0] >= 2.0
+    assert not conn.alive
+
+
+def test_connection_survives_transient_outage():
+    sim, topo, sched, resolver = build()
+    a = FakeVM("a", "s1", Address("s1", 1))
+    b = FakeVM("b", "s2", Address("s2", 1))
+    conn = Connection(sim, sched, resolver, a, b, rto_budget=10.0,
+                      retry_interval=0.1)
+    done = []
+
+    def app(sim):
+        b.move("s3")  # unroutable...
+        sim.process(healer(sim))
+        yield conn.send(1e5)
+        done.append(sim.now)
+
+    def healer(sim):
+        yield sim.timeout(1.0)
+        b.move("s2")  # ...but comes back before the budget runs out
+
+    sim.process(app(sim))
+    sim.run()
+    assert done and done[0] >= 1.0
+    assert conn.alive
+    assert conn.max_stall >= 1.0
+
+
+def test_send_on_broken_connection_raises():
+    sim, topo, sched, resolver = build()
+    a = FakeVM("a", "s1", Address("s1", 1))
+    b = FakeVM("b", "s2", Address("s2", 1))
+    conn = Connection(sim, sched, resolver, a, b)
+    conn.state = ConnectionState.BROKEN
+    failures = []
+
+    def app(sim):
+        try:
+            yield conn.send(1)
+        except ConnectionBroken:
+            failures.append(True)
+
+    sim.process(app(sim))
+    sim.run()
+    assert failures == [True]
+
+
+def test_connection_close():
+    sim, topo, sched, resolver = build()
+    a = FakeVM("a", "s1", Address("s1", 1))
+    b = FakeVM("b", "s2", Address("s2", 1))
+    conn = Connection(sim, sched, resolver, a, b)
+    conn.close()
+    assert conn.state is ConnectionState.CLOSED

@@ -1,0 +1,228 @@
+"""Tests for traffic matrices, the sniffer, ground truth and analysis."""
+
+import numpy as np
+import pytest
+
+from repro.hypervisor import MemoryImage, PhysicalHost, VirtualMachine
+from repro.network import FlowScheduler, Site, Topology, gbit_per_s
+from repro.patterns import (
+    GroundTruthRecorder,
+    HypervisorSniffer,
+    TrafficMatrix,
+    cosine_similarity,
+    pearson_correlation,
+    per_pair_relative_error,
+    top_pair_overlap,
+    volume_ratio,
+)
+from repro.simkernel import Simulator
+from repro.workloads.comm_patterns import (
+    all_to_all,
+    clustered,
+    master_worker,
+    ring,
+    run_pattern,
+)
+
+
+# -- matrix -------------------------------------------------------------------
+
+
+def test_matrix_record_and_query():
+    m = TrafficMatrix()
+    m.record("a", "b", 100)
+    m.record("a", "b", 50)
+    m.record("b", "a", 10)
+    assert m.get("a", "b") == 150
+    assert m.get("b", "a") == 10
+    assert m.get("a", "c") == 0
+    assert m.total_bytes == 160
+    assert m.endpoints() == ["a", "b"]
+    assert len(m) == 2
+
+
+def test_matrix_ignores_self_and_zero():
+    m = TrafficMatrix()
+    m.record("a", "a", 100)
+    m.record("a", "b", 0)
+    assert m.total_bytes == 0
+    with pytest.raises(ValueError):
+        m.record("a", "b", -1)
+
+
+def test_matrix_symmetrized():
+    m = TrafficMatrix()
+    m.record("a", "b", 100)
+    m.record("b", "a", 40)
+    s = m.symmetrized()
+    assert s.get("a", "b") == 140
+    assert s.get("b", "a") == 0
+
+
+def test_matrix_as_array():
+    m = TrafficMatrix()
+    m.record("a", "b", 5)
+    arr, names = m.as_array()
+    assert names == ["a", "b"]
+    assert arr[0, 1] == 5 and arr[1, 0] == 0
+
+
+def test_matrix_top_pairs_and_scaled():
+    m = TrafficMatrix()
+    m.record("a", "b", 5)
+    m.record("c", "d", 50)
+    assert m.top_pairs(1)[0][0] == ("c", "d")
+    assert m.scaled(2.0).total_bytes == 110
+
+
+# -- pattern generators ----------------------------------------------------
+
+
+def test_pattern_shapes():
+    assert len(ring(4, 10)) == 4
+    assert len(all_to_all(4, 10)) == 12
+    assert len(master_worker(4, 10)) == 6
+    c = clustered(8, 100, group_size=4, inter_group_fraction=0.1)
+    assert len(c) == 56
+    intra = [v for i, j, v in c if i // 4 == j // 4]
+    inter = [v for i, j, v in c if i // 4 != j // 4]
+    assert all(v == 100 for v in intra)
+    assert all(v == pytest.approx(10) for v in inter)
+
+
+def test_clustered_validation():
+    with pytest.raises(ValueError):
+        clustered(8, 100, group_size=0)
+
+
+# -- end-to-end capture vs ground truth -----------------------------------
+
+
+def run_world(pattern_fn, n=6, sampling_rate=1.0, rounds=3):
+    sim = Simulator()
+    topo = Topology()
+    topo.add_site(Site("s1", lan_bandwidth=gbit_per_s(10)))
+    topo.add_site(Site("s2", lan_bandwidth=gbit_per_s(10)))
+    topo.connect("s1", "s2", bandwidth=gbit_per_s(1), latency=0.02)
+    sched = FlowScheduler(sim, topo)
+    hosts = {
+        "s1": PhysicalHost("h1", "s1", cores=64),
+        "s2": PhysicalHost("h2", "s2", cores=64),
+    }
+    vms = []
+    for i in range(n):
+        site = "s1" if i < n // 2 else "s2"
+        vm = VirtualMachine(sim, f"vm{i}", MemoryImage(64))
+        hosts[site].place(vm)
+        vm.boot()
+        vms.append(vm)
+    truth = GroundTruthRecorder()
+    sniffer = HypervisorSniffer(sched, sampling_rate=sampling_rate,
+                                rng=np.random.default_rng(0))
+    pattern = pattern_fn(n, 2e6)
+    proc = run_pattern(sim, sched, vms, pattern, rounds=rounds,
+                       recorder=truth)
+    sim.run(until=proc)
+    return truth, sniffer
+
+
+def test_sniffer_matches_ground_truth_shape():
+    truth, sniffer = run_world(all_to_all)
+    assert cosine_similarity(sniffer.matrix, truth.matrix) > 0.99
+    assert pearson_correlation(sniffer.matrix, truth.matrix) > 0.99
+
+
+def test_sniffer_identifies_dominant_pairs():
+    truth, sniffer = run_world(
+        lambda n, b: master_worker(n, b, result_factor=8.0))
+    assert top_pair_overlap(sniffer.matrix, truth.matrix, k=5) == 1.0
+
+
+def test_sniffer_sees_wire_overhead():
+    truth, sniffer = run_world(ring)
+    ratio = volume_ratio(sniffer.matrix, truth.matrix)
+    assert ratio == pytest.approx(1.0, abs=0.1)
+    assert sniffer.flows_seen > 0
+    assert sniffer.packets_seen > 0
+
+
+def test_sampled_capture_still_recovers_pattern():
+    truth, sniffer = run_world(master_worker, sampling_rate=0.05)
+    assert cosine_similarity(sniffer.matrix, truth.matrix) > 0.95
+    errors = per_pair_relative_error(sniffer.matrix, truth.matrix)
+    assert np.median(errors) < 0.25
+
+
+def test_sniffer_monitored_subset():
+    sim = Simulator()
+    topo = Topology()
+    topo.add_site(Site("s"))
+    sched = FlowScheduler(sim, topo)
+    host = PhysicalHost("h", "s", cores=16)
+    vms = []
+    for i in range(3):
+        vm = VirtualMachine(sim, f"vm{i}", MemoryImage(16))
+        host.place(vm)
+        vm.boot()
+        vms.append(vm)
+    sniffer = HypervisorSniffer(sched, monitored_vms=["vm0"])
+    run = run_pattern(sim, sched, vms, [(0, 1, 1e5), (1, 2, 1e5)],
+                      rounds=1)
+    sim.run(until=run)
+    assert sniffer.matrix.get("vm0", "vm1") > 0
+    assert sniffer.matrix.get("vm1", "vm2") == 0
+
+
+def test_sniffer_ignores_infrastructure_flows():
+    sim = Simulator()
+    topo = Topology()
+    topo.add_site(Site("s"))
+    sched = FlowScheduler(sim, topo)
+    sniffer = HypervisorSniffer(sched)
+    sched.start_flow("s", "s", 1e6, tag="image-unicast")  # no vm meta
+    sim.run()
+    assert sniffer.matrix.total_bytes == 0
+
+
+def test_sniffer_tag_filter():
+    sim = Simulator()
+    topo = Topology()
+    topo.add_site(Site("s"))
+    sched = FlowScheduler(sim, topo)
+    sniffer = HypervisorSniffer(sched, tags={"mr-shuffle"})
+    sched.start_flow("s", "s", 1e6, tag="tcp", src_vm="a", dst_vm="b")
+    sched.start_flow("s", "s", 2e6, tag="mr-shuffle", src_vm="a", dst_vm="b")
+    sim.run()
+    assert sniffer.matrix.get("a", "b") == pytest.approx(2e6)
+
+
+def test_sniffer_detach():
+    sim = Simulator()
+    topo = Topology()
+    topo.add_site(Site("s"))
+    sched = FlowScheduler(sim, topo)
+    sniffer = HypervisorSniffer(sched)
+    sniffer.detach()
+    sniffer.detach()  # idempotent
+    sched.start_flow("s", "s", 1e6, tag="tcp", src_vm="a", dst_vm="b")
+    sim.run()
+    assert sniffer.matrix.total_bytes == 0
+
+
+def test_sampling_rate_validation():
+    sim = Simulator()
+    topo = Topology()
+    topo.add_site(Site("s"))
+    sched = FlowScheduler(sim, topo)
+    with pytest.raises(ValueError):
+        HypervisorSniffer(sched, sampling_rate=0)
+
+
+def test_analysis_edge_cases():
+    a, b = TrafficMatrix(), TrafficMatrix()
+    assert cosine_similarity(a, b) == 1.0
+    assert volume_ratio(a, b) == 1.0
+    a.record("x", "y", 10)
+    assert cosine_similarity(a, b) == 0.0
+    assert volume_ratio(a, b) == float("inf")
+    assert top_pair_overlap(TrafficMatrix(), TrafficMatrix()) == 1.0

@@ -1,0 +1,133 @@
+"""Property-based tests for simulation-kernel invariants."""
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.simkernel import Container, Simulator, Store
+
+
+@given(
+    delays=st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                    max_size=50),
+)
+@settings(max_examples=60, deadline=None)
+def test_events_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        t = sim.timeout(d, value=d)
+        t.callbacks.append(lambda ev: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@given(
+    delays=st.lists(st.floats(min_value=0, max_value=100), min_size=1,
+                    max_size=20),
+)
+@settings(max_examples=40, deadline=None)
+def test_same_delay_events_fire_fifo(delays):
+    """Ties break by creation order — determinism guarantee."""
+    sim = Simulator()
+    order = []
+    for i, d in enumerate(delays):
+        t = sim.timeout(round(d, 1), value=i)
+        t.callbacks.append(lambda ev: order.append(ev.value))
+    sim.run()
+    # Stable sort by (time, creation index) must match.
+    expected = [i for _, i in sorted(
+        ((round(d, 1), i) for i, d in enumerate(delays)))]
+    assert order == expected
+
+
+@given(
+    seeds=st.integers(min_value=0, max_value=2**31),
+    n_procs=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=25, deadline=None)
+def test_simulation_is_deterministic(seeds, n_procs):
+    """Two identical runs produce identical traces."""
+    import numpy as np
+
+    def trace():
+        sim = Simulator()
+        rng = np.random.default_rng(seeds)
+        log = []
+
+        def proc(sim, i):
+            for _ in range(5):
+                yield sim.timeout(float(rng.random()))
+                log.append((i, sim.now))
+
+        for i in range(n_procs):
+            sim.process(proc(sim, i))
+        sim.run()
+        return log
+
+    assert trace() == trace()
+
+
+@given(
+    amounts=st.lists(st.floats(min_value=0.1, max_value=100), min_size=1,
+                     max_size=20),
+)
+@settings(max_examples=40, deadline=None)
+def test_container_conserves_quantity(amounts):
+    sim = Simulator()
+    tank = Container(sim, capacity=float("inf"))
+    for a in amounts:
+        tank.put(a)
+    sim.run()
+    assert tank.level == sum(amounts)
+    total = tank.level
+    got = []
+
+    def taker(sim):
+        for a in amounts:
+            yield tank.get(a)
+            got.append(a)
+
+    sim.process(taker(sim))
+    sim.run()
+    assert abs(tank.level - (total - sum(got))) < 1e-9
+
+
+class StoreMachine(RuleBasedStateMachine):
+    """Stateful: Store behaves like a FIFO queue model."""
+
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator()
+        self.store = Store(self.sim)
+        self.model = []
+        self.counter = 0
+
+    @rule()
+    def put(self):
+        self.store.put(self.counter)
+        self.model.append(self.counter)
+        self.counter += 1
+        self.sim.run()
+
+    @rule()
+    def get(self):
+        if not self.model:
+            return
+        expected = self.model.pop(0)
+        got = []
+
+        def take(sim):
+            got.append((yield self.store.get()))
+
+        self.sim.process(take(self.sim))
+        self.sim.run()
+        assert got == [expected]
+
+    @invariant()
+    def contents_match(self):
+        assert self.store.items == self.model
+
+
+TestStoreStateful = StoreMachine.TestCase

@@ -1,0 +1,116 @@
+"""Property-based tests for Shrinker's registry and codec invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.shrinker import (
+    ContentRegistry,
+    SHA1,
+    ShrinkerCodec,
+    expected_wire_bytes,
+)
+
+fingerprints = st.lists(
+    st.integers(min_value=0, max_value=2**64 - 1), min_size=0, max_size=200
+).map(lambda xs: np.array(xs, dtype=np.uint64))
+
+
+@given(fingerprints)
+@settings(max_examples=60, deadline=None)
+def test_registry_add_then_contains(fps):
+    reg = ContentRegistry("x")
+    reg.add(fps)
+    assert reg.contains(fps).all() or len(fps) == 0
+
+
+@given(fingerprints, fingerprints)
+@settings(max_examples=60, deadline=None)
+def test_registry_matches_python_set_semantics(added, queried):
+    reg = ContentRegistry("x")
+    reg.add(added)
+    model = set(added.tolist())
+    mask = reg.contains(queried)
+    for fp, hit in zip(queried.tolist(), mask):
+        assert hit == (fp in model)
+
+
+@given(fingerprints)
+@settings(max_examples=60, deadline=None)
+def test_codec_wire_bytes_closed_form(fps):
+    """The codec's arithmetic matches the analytic formula exactly."""
+    reg = ContentRegistry("x")
+    codec = ShrinkerCodec(reg, page_size=4096)
+    enc = codec.encode(fps)
+    distinct = len(np.unique(fps))
+    assert enc.wire_bytes == expected_wire_bytes(
+        len(fps), distinct, 4096, SHA1)
+    assert enc.full_pages + enc.digest_pages == enc.pages == len(fps)
+
+
+@given(fingerprints)
+@settings(max_examples=40, deadline=None)
+def test_codec_idempotent_second_pass_all_digests(fps):
+    reg = ContentRegistry("x")
+    codec = ShrinkerCodec(reg, page_size=4096)
+    codec.encode(fps)
+    second = codec.encode(fps)
+    assert second.full_pages == 0
+    assert second.digest_pages == len(fps)
+
+
+@given(fingerprints)
+@settings(max_examples=40, deadline=None)
+def test_codec_never_exceeds_raw_cost(fps):
+    """Dedup never sends more than the raw protocol would."""
+    from repro.hypervisor import RawCodec
+
+    raw = RawCodec(page_size=4096, header_bytes=8).encode(fps)
+    shr = ShrinkerCodec(ContentRegistry("x"), page_size=4096,
+                        header_bytes=8).encode(fps)
+    # Digest adds 20B per *first* occurrence, so the bound includes it.
+    assert shr.wire_bytes <= raw.wire_bytes + shr.full_pages * SHA1.digest_bytes
+
+
+@given(
+    batches=st.lists(fingerprints, min_size=1, max_size=6),
+)
+@settings(max_examples=30, deadline=None)
+def test_codec_order_independent_total_full_pages(batches):
+    """However content is split into batches, each distinct fingerprint
+    crosses the wire in full exactly once."""
+    reg = ContentRegistry("x")
+    codec = ShrinkerCodec(reg, page_size=4096)
+    total_full = sum(codec.encode(b).full_pages for b in batches)
+    all_fps = (np.concatenate(batches) if batches
+               else np.empty(0, dtype=np.uint64))
+    assert total_full == len(np.unique(all_fps))
+
+
+class RegistryMachine(RuleBasedStateMachine):
+    """Stateful test: ContentRegistry vs a plain Python set model."""
+
+    def __init__(self):
+        super().__init__()
+        self.reg = ContentRegistry("site")
+        self.model = set()
+
+    @rule(fps=fingerprints)
+    def add(self, fps):
+        self.reg.add(fps)
+        self.model |= set(fps.tolist())
+
+    @rule(fps=fingerprints)
+    def query(self, fps):
+        mask = self.reg.contains(fps)
+        for fp, hit in zip(fps.tolist(), mask):
+            assert hit == (fp in self.model)
+
+    @invariant()
+    def size_matches(self):
+        assert len(self.reg) == len(self.model)
+
+
+TestRegistryStateful = RegistryMachine.TestCase
+TestRegistryStateful.settings = settings(max_examples=25, deadline=None,
+                                         stateful_step_count=20)

@@ -1,0 +1,86 @@
+"""Property-based tests for workload generators."""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.hypervisor import UNIQUE_FLAG, ZERO_PAGE
+from repro.workloads import MemoryProfile, spot_price_trace, terasort_job
+from repro.workloads.blast import blast_job
+
+
+@st.composite
+def profile_params(draw):
+    zero = draw(st.floats(min_value=0, max_value=0.9))
+    shared = draw(st.floats(min_value=0, max_value=0.9))
+    assume(zero + shared <= 1.0)
+    rate = draw(st.floats(min_value=0, max_value=1e4))
+    return zero, shared, rate
+
+
+@given(profile_params(), st.integers(min_value=16, max_value=4096),
+       st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=40, deadline=None)
+def test_memory_profile_fractions_respected(params, n_pages, seed):
+    zero, shared, rate = params
+    profile = MemoryProfile("p", zero_fraction=zero,
+                            shared_fraction=shared, dirty_rate=rate)
+    rng = np.random.default_rng(seed)
+    mem = profile.generate_memory(rng, n_pages)
+    assert mem.n_pages == n_pages
+    n_zero = int((mem.pages == ZERO_PAGE).sum())
+    n_unique = int(((mem.pages & UNIQUE_FLAG) != 0).sum())
+    n_shared = n_pages - n_zero - n_unique
+    # Rounding moves at most a page or two per category.
+    assert abs(n_zero - zero * n_pages) <= 2
+    assert abs(n_shared - shared * n_pages) <= 2
+    assert n_zero + n_shared + n_unique == n_pages
+
+
+@given(st.integers(min_value=0, max_value=2**31),
+       st.integers(min_value=1, max_value=500))
+@settings(max_examples=30, deadline=None)
+def test_dirty_values_are_valid_fingerprints(seed, n):
+    profile = MemoryProfile("p", 0.1, 0.3, 100)
+    rng = np.random.default_rng(seed)
+    values = profile.dirty_values(rng, n)
+    assert len(values) == n
+    assert values.dtype == np.uint64
+    # Never the zero page (a write always produces content).
+    assert np.all(values != ZERO_PAGE)
+
+
+@given(st.integers(min_value=0, max_value=2**31),
+       st.floats(min_value=60, max_value=86400),
+       st.floats(min_value=1, max_value=600))
+@settings(max_examples=30, deadline=None)
+def test_price_trace_always_positive_and_aligned(seed, duration, tick):
+    rng = np.random.default_rng(seed)
+    times, prices = spot_price_trace(rng, duration=duration, tick=tick)
+    assert len(times) == len(prices)
+    assert np.all(prices > 0)
+    assert np.all(np.diff(times) > 0)
+    assert times[0] == 0.0
+    assert times[-1] >= duration - tick
+
+
+@given(st.integers(min_value=1, max_value=200),
+       st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=30, deadline=None)
+def test_blast_job_positive_costs(n_batches, seed):
+    rng = np.random.default_rng(seed)
+    job = blast_job(rng, n_query_batches=n_batches)
+    assert job.n_maps == n_batches
+    assert np.all(job.map_cpu > 0)
+    assert job.total_cpu_seconds > 0
+
+
+@given(st.integers(min_value=1, max_value=64),
+       st.integers(min_value=1, max_value=16),
+       st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=30, deadline=None)
+def test_terasort_shuffle_volume_equals_input(n_maps, n_reduces, seed):
+    rng = np.random.default_rng(seed)
+    job = terasort_job(rng, n_maps=n_maps, n_reduces=n_reduces,
+                       split_bytes=1e6)
+    assert job.map_output_bytes == job.split_bytes
+    assert job.n_maps == n_maps and job.n_reduces == n_reduces

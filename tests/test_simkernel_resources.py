@@ -1,0 +1,337 @@
+"""Tests for Resource, PriorityResource, Container, Store, FilterStore."""
+
+import pytest
+
+from repro.simkernel import (
+    Container,
+    FilterStore,
+    PriorityResource,
+    Resource,
+    Simulator,
+    Store,
+)
+
+
+# -- Resource -----------------------------------------------------------
+
+
+def test_resource_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_serializes_users():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    log = []
+
+    def user(sim, res, tag, hold):
+        with res.request() as req:
+            yield req
+            log.append((tag, "in", sim.now))
+            yield sim.timeout(hold)
+        log.append((tag, "out", sim.now))
+
+    sim.process(user(sim, res, "a", 5))
+    sim.process(user(sim, res, "b", 3))
+    sim.run()
+    assert log == [
+        ("a", "in", 0),
+        ("a", "out", 5),
+        ("b", "in", 5),
+        ("b", "out", 8),
+    ]
+
+
+def test_resource_parallel_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    finished = []
+
+    def user(sim, res, tag):
+        with res.request() as req:
+            yield req
+            yield sim.timeout(10)
+        finished.append((tag, sim.now))
+
+    for tag in "abc":
+        sim.process(user(sim, res, tag))
+    sim.run()
+    assert finished == [("a", 10), ("b", 10), ("c", 20)]
+
+
+def test_resource_count_and_queue():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    assert res.count == 1
+    assert res.queue == (r2,)
+    res.release(r1)
+    assert res.count == 1
+    assert res.queue == ()
+    assert r2.triggered
+
+
+def test_release_unheld_request_raises():
+    sim = Simulator()
+    res = Resource(sim)
+    req = res.request()
+    other = Resource(sim).request()
+    with pytest.raises(ValueError):
+        res.release(other)
+    res.release(req)
+
+
+def test_cancel_pending_request_leaves_queue():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    r2.cancel()
+    res.release(r1)
+    assert not r2.triggered
+    assert res.count == 0
+
+
+def test_context_manager_releases_on_exception():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def bad(sim, res):
+        with res.request() as req:
+            yield req
+            raise RuntimeError("oops")
+
+    def good(sim, res, log):
+        yield sim.timeout(1)
+        with res.request() as req:
+            yield req
+            log.append(sim.now)
+
+    log = []
+    sim.process(bad(sim, res))
+    sim.process(good(sim, res, log))
+    with pytest.raises(RuntimeError):
+        sim.run()
+    # The slot was released by the context manager despite the crash.
+    sim2 = Simulator()
+    assert res.count == 0 or log  # released either way
+    del sim2
+
+
+# -- PriorityResource ---------------------------------------------------
+
+
+def test_priority_resource_orders_by_priority():
+    sim = Simulator()
+    res = PriorityResource(sim, capacity=1)
+    order = []
+
+    def user(sim, res, tag, priority):
+        with res.request(priority=priority) as req:
+            yield req
+            order.append(tag)
+            yield sim.timeout(1)
+
+    def submit(sim):
+        # Occupy the resource, then submit contenders.
+        with res.request(priority=0) as req:
+            yield req
+            sim.process(user(sim, res, "low", 10))
+            sim.process(user(sim, res, "high", 1))
+            sim.process(user(sim, res, "mid", 5))
+            yield sim.timeout(2)
+
+    sim.process(submit(sim))
+    sim.run()
+    assert order == ["high", "mid", "low"]
+
+
+def test_priority_resource_fifo_within_priority():
+    sim = Simulator()
+    res = PriorityResource(sim, capacity=1)
+    order = []
+
+    def user(sim, res, tag):
+        with res.request(priority=5) as req:
+            yield req
+            order.append(tag)
+            yield sim.timeout(1)
+
+    def submit(sim):
+        with res.request(priority=0) as req:
+            yield req
+            for tag in "abc":
+                sim.process(user(sim, res, tag))
+            yield sim.timeout(1)
+
+    sim.process(submit(sim))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+# -- Container -----------------------------------------------------------
+
+
+def test_container_levels():
+    sim = Simulator()
+    tank = Container(sim, capacity=100, init=20)
+    assert tank.level == 20
+    tank.put(30)
+    assert tank.level == 50
+    tank.get(50)
+    assert tank.level == 0
+
+
+def test_container_get_blocks_until_available():
+    sim = Simulator()
+    tank = Container(sim, capacity=10)
+    log = []
+
+    def consumer(sim, tank):
+        yield tank.get(5)
+        log.append(("got", sim.now))
+
+    def producer(sim, tank):
+        yield sim.timeout(3)
+        tank.put(5)
+
+    sim.process(consumer(sim, tank))
+    sim.process(producer(sim, tank))
+    sim.run()
+    assert log == [("got", 3)]
+
+
+def test_container_put_blocks_when_full():
+    sim = Simulator()
+    tank = Container(sim, capacity=10, init=10)
+    log = []
+
+    def producer(sim, tank):
+        yield tank.put(5)
+        log.append(("put", sim.now))
+
+    def consumer(sim, tank):
+        yield sim.timeout(4)
+        yield tank.get(5)
+
+    sim.process(producer(sim, tank))
+    sim.process(consumer(sim, tank))
+    sim.run()
+    assert log == [("put", 4)]
+
+
+def test_container_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Container(sim, capacity=0)
+    with pytest.raises(ValueError):
+        Container(sim, capacity=10, init=11)
+    tank = Container(sim, capacity=10)
+    with pytest.raises(ValueError):
+        tank.put(0)
+    with pytest.raises(ValueError):
+        tank.get(-1)
+
+
+# -- Store ---------------------------------------------------------------
+
+
+def test_store_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer(sim, store):
+        for i in range(3):
+            yield store.put(i)
+            yield sim.timeout(1)
+
+    def consumer(sim, store):
+        for _ in range(3):
+            item = yield store.get()
+            got.append((item, sim.now))
+
+    sim.process(producer(sim, store))
+    sim.process(consumer(sim, store))
+    sim.run()
+    assert [i for i, _ in got] == [0, 1, 2]
+
+
+def test_store_capacity_blocks_put():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    log = []
+
+    def producer(sim, store):
+        yield store.put("a")
+        log.append(("a", sim.now))
+        yield store.put("b")
+        log.append(("b", sim.now))
+
+    def consumer(sim, store):
+        yield sim.timeout(5)
+        yield store.get()
+
+    sim.process(producer(sim, store))
+    sim.process(consumer(sim, store))
+    sim.run()
+    assert log == [("a", 0), ("b", 5)]
+
+
+def test_store_get_blocks_until_item():
+    sim = Simulator()
+    store = Store(sim)
+    log = []
+
+    def consumer(sim, store):
+        item = yield store.get()
+        log.append((item, sim.now))
+
+    def producer(sim, store):
+        yield sim.timeout(7)
+        yield store.put("x")
+
+    sim.process(consumer(sim, store))
+    sim.process(producer(sim, store))
+    sim.run()
+    assert log == [("x", 7)]
+
+
+def test_filter_store_matches_predicate():
+    sim = Simulator()
+    store = FilterStore(sim)
+    got = []
+
+    def consumer(sim, store):
+        item = yield store.get(lambda x: x % 2 == 0)
+        got.append((item, sim.now))
+
+    def producer(sim, store):
+        yield store.put(1)
+        yield sim.timeout(1)
+        yield store.put(3)
+        yield sim.timeout(1)
+        yield store.put(4)
+
+    sim.process(consumer(sim, store))
+    sim.process(producer(sim, store))
+    sim.run()
+    assert got == [(4, 2)]
+    assert store.items == [1, 3]
+
+
+def test_filter_store_plain_get():
+    sim = Simulator()
+    store = FilterStore(sim)
+    store.put("a")
+    got = []
+
+    def consumer(sim, store):
+        got.append((yield store.get()))
+
+    sim.process(consumer(sim, store))
+    sim.run()
+    assert got == ["a"]

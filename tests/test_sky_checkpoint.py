@@ -1,0 +1,104 @@
+"""Tests for checkpoint/restart spot protection."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import SpotMarket, SpotState
+from repro.hypervisor import VMState
+from repro.sky import CheckpointingSpotManager
+from repro.workloads import SpotPriceProcess, idle
+
+from tests.test_sky_federation import build_federation
+
+
+def build_market(price_points, grace=120.0):
+    sim, fed = build_federation(n_clouds=2)
+    times = np.array([p[0] for p in price_points])
+    prices = np.array([p[1] for p in price_points])
+    market = SpotMarket(sim, fed.cloud("cloud-a"),
+                        SpotPriceProcess(sim, times, prices),
+                        reclaim_grace=grace)
+    return sim, fed, market
+
+
+def test_periodic_checkpoints_recorded():
+    sim, fed, market = build_market([(0, 0.03)])
+    manager = CheckpointingSpotManager(fed, "cloud-b", interval=300.0)
+    inst = sim.run(until=market.request_spot("debian", bid=0.10))
+    manager.protect(inst.vm)
+    sim.run(until=sim.now + 1000)
+    assert len(manager.checkpoints) >= 3
+    assert manager.last_checkpoint[inst.vm.name] > 0
+    assert manager.total_checkpoint_bytes > 0
+    # All checkpoint traffic crossed to the refuge cloud.
+    assert fed.billing.pair_bytes[("cloud-a", "cloud-b")] > 0
+
+
+def test_later_checkpoints_are_cheap_thanks_to_dedup():
+    sim, fed, market = build_market([(0, 0.03)])
+    manager = CheckpointingSpotManager(fed, "cloud-b", interval=300.0)
+    rng = np.random.default_rng(1)
+    profile = idle()
+    inst = sim.run(until=market.request_spot(
+        "debian", bid=0.10,
+        memory_factory=lambda name: profile.generate_memory(rng, 2048)))
+    manager.protect(inst.vm)
+    sim.run(until=sim.now + 1000)
+    first = manager.checkpoints[0].wire_bytes
+    later = manager.checkpoints[-1].wire_bytes
+    # Unchanged (idle) state dedups against the previous snapshot.
+    assert later < 0.5 * first
+
+
+def test_restore_after_reclaim_loses_only_checkpoint_age():
+    sim, fed, market = build_market([(0, 0.03), (700, 0.50)])
+    manager = CheckpointingSpotManager(fed, "cloud-b", interval=300.0)
+    inst = sim.run(until=market.request_spot("debian", bid=0.10))
+    manager.protect(inst.vm)
+    outcome = {}
+
+    def recover(sim):
+        yield inst.reclaim_event
+        assert inst.state is SpotState.RECLAIMED
+        new_vm, record = yield manager.restore(inst, "debian")
+        outcome["vm"] = new_vm
+        outcome["record"] = record
+
+    sim.process(recover(sim))
+    sim.run()
+    assert outcome["vm"].state is VMState.RUNNING
+    assert outcome["vm"].site == "cloud-b"
+    record = outcome["record"]
+    # Last checkpoint completed around t=600; the kill lands after the
+    # 120 s grace following the t=700 spike: age a bit over 200 s.
+    assert 100 <= record.checkpoint_age <= 400
+    assert record.duration > 0
+    assert manager.restores == [record]
+
+
+def test_restore_without_checkpoint_rejected():
+    sim, fed, market = build_market([(0, 0.03)])
+    manager = CheckpointingSpotManager(fed, "cloud-b", interval=1e6)
+    inst = sim.run(until=market.request_spot("debian", bid=0.10))
+    with pytest.raises(ValueError):
+        manager.restore(inst, "debian")
+
+
+def test_protect_twice_rejected_and_stop_on_termination():
+    sim, fed, market = build_market([(0, 0.03)])
+    manager = CheckpointingSpotManager(fed, "cloud-b", interval=100.0)
+    inst = sim.run(until=market.request_spot("debian", bid=0.10))
+    manager.protect(inst.vm)
+    with pytest.raises(ValueError):
+        manager.protect(inst.vm)
+    sim.run(until=sim.now + 250)
+    n = len(manager.checkpoints)
+    market.close(inst)  # customer terminates; loop must exit
+    sim.run(until=sim.now + 500)
+    assert len(manager.checkpoints) == n
+
+
+def test_interval_validation():
+    sim, fed, market = build_market([(0, 0.03)])
+    with pytest.raises(ValueError):
+        CheckpointingSpotManager(fed, "cloud-b", interval=0)

@@ -1,0 +1,53 @@
+"""Tests for the prefab testbeds."""
+
+import pytest
+
+from repro.testbeds import (
+    PAPER_SITES,
+    SiteSpec,
+    sky_testbed,
+    two_cloud_testbed,
+)
+
+
+def test_default_testbed_layout():
+    tb = sky_testbed()
+    assert set(tb.clouds) == {"rennes", "sophia", "chicago", "sandiego"}
+    assert tb.federation.total_capacity() > 0
+    # Every cloud holds the common image.
+    for cloud in tb.clouds.values():
+        assert tb.image_name in cloud.repository
+
+
+def test_region_aware_latency():
+    tb = sky_testbed()
+    intra = tb.topology.path_latency("rennes", "sophia")
+    trans = tb.topology.path_latency("rennes", "chicago")
+    assert trans > intra
+
+
+def test_transatlantic_bandwidth_reduced():
+    tb = sky_testbed(wan_bandwidth=1e8)
+    eu = tb.topology.path("rennes", "sophia")[0]
+    us = tb.topology.path("rennes", "chicago")[0]
+    assert us.bandwidth == pytest.approx(eu.bandwidth / 2)
+
+
+def test_two_cloud_testbed():
+    tb = two_cloud_testbed()
+    assert set(tb.clouds) == {"rennes", "chicago"}
+
+
+def test_custom_sites_and_validation():
+    with pytest.raises(ValueError):
+        sky_testbed(sites=[])
+    tb = sky_testbed(sites=[SiteSpec("solo", n_hosts=2)])
+    assert list(tb.clouds) == ["solo"]
+
+
+def test_testbed_runs_a_cluster():
+    tb = two_cloud_testbed(memory_pages=2048, image_blocks=8192)
+    cluster = tb.sim.run(
+        until=tb.federation.create_virtual_cluster(tb.image_name, 4))
+    assert len(cluster) == 4
+    assert set(cluster.site_distribution()) == {"rennes", "chicago"}

@@ -1,0 +1,272 @@
+"""Tests for the ViNe overlay, routers and migration reconfiguration."""
+
+import numpy as np
+import pytest
+
+from repro.hypervisor import (
+    LiveMigrator,
+    MemoryImage,
+    PhysicalHost,
+    VirtualMachine,
+)
+from repro.network import (
+    Connection,
+    ConnectionBroken,
+    FlowScheduler,
+    Site,
+    Topology,
+    mbit_per_s,
+)
+from repro.simkernel import Simulator
+from repro.vine import (
+    MigrationReconfigurator,
+    OverlayError,
+    VINE_NETWORK,
+    ViNeOverlay,
+    ViNeRouter,
+)
+
+
+def build_world(natted_c=False):
+    sim = Simulator()
+    topo = Topology()
+    topo.add_site(Site("a"))
+    topo.add_site(Site("b"))
+    topo.add_site(Site("c", public_addresses=not natted_c))
+    topo.connect("a", "b", bandwidth=mbit_per_s(100), latency=0.04)
+    topo.connect("b", "c", bandwidth=mbit_per_s(100), latency=0.04)
+    topo.connect("a", "c", bandwidth=mbit_per_s(100), latency=0.07)
+    sched = FlowScheduler(sim, topo)
+    hosts = {
+        s: PhysicalHost(f"h-{s}", s, cores=32, ram_bytes=128 * 2**30)
+        for s in ("a", "b", "c")
+    }
+    overlay = ViNeOverlay(sim, topo, ["a", "b", "c"])
+    return sim, topo, sched, hosts, overlay
+
+
+def make_vm(sim, hosts, site, name):
+    vm = VirtualMachine(sim, name, MemoryImage(1024))
+    hosts[site].place(vm)
+    vm.boot()
+    return vm
+
+
+# -- router ---------------------------------------------------------------
+
+
+def test_router_table_operations():
+    r = ViNeRouter("a")
+    assert r.lookup(1) is None
+    r.update(1, "a")
+    assert r.lookup(1) == "a"
+    r.forget(1)
+    assert r.lookup(1) is None
+    assert r.updates_applied == 1
+
+
+# -- overlay membership ----------------------------------------------------
+
+
+def test_register_assigns_overlay_address_everywhere():
+    sim, topo, sched, hosts, overlay = build_world()
+    vm = make_vm(sim, hosts, "a", "vm1")
+    addr = overlay.register(vm)
+    assert addr.network == VINE_NETWORK
+    assert vm.address == addr
+    for router in overlay.routers.values():
+        assert router.lookup(addr.host) == "a"
+
+
+def test_register_requires_overlay_site():
+    sim, topo, sched, hosts, overlay = build_world()
+    topo.add_site(Site("outsider"))
+    host = PhysicalHost("h-x", "outsider")
+    vm = VirtualMachine(sim, "vmx", MemoryImage(64))
+    host.place(vm)
+    vm.boot()
+    with pytest.raises(OverlayError):
+        overlay.register(vm)
+
+
+def test_unregister_cleans_up():
+    sim, topo, sched, hosts, overlay = build_world()
+    vm = make_vm(sim, hosts, "a", "vm1")
+    addr = overlay.register(vm)
+    overlay.unregister(vm)
+    assert addr.host not in overlay.members
+    assert all(r.lookup(addr.host) is None
+               for r in overlay.routers.values())
+
+
+def test_empty_overlay_rejected():
+    sim = Simulator()
+    topo = Topology()
+    with pytest.raises(OverlayError):
+        ViNeOverlay(sim, topo, [])
+
+
+# -- resolution -------------------------------------------------------------
+
+
+def test_resolve_cross_site():
+    sim, topo, sched, hosts, overlay = build_world()
+    vm1 = make_vm(sim, hosts, "a", "vm1")
+    vm2 = make_vm(sim, hosts, "b", "vm2")
+    overlay.register(vm1)
+    overlay.register(vm2)
+    route = overlay.resolve(vm1, vm2)
+    assert route is not None
+    assert route.src_site == "a" and route.dst_site == "b"
+    assert route.overhead_factor > 1.0
+
+
+def test_resolve_reaches_natted_site_via_relay():
+    """The overlay's raison d'etre: NATed sites stay reachable."""
+    sim, topo, sched, hosts, overlay = build_world(natted_c=True)
+    assert not topo.reachable_directly("a", "c")
+    vm1 = make_vm(sim, hosts, "a", "vm1")
+    vm2 = make_vm(sim, hosts, "c", "vm2")
+    overlay.register(vm1)
+    overlay.register(vm2)
+    route = overlay.resolve(vm1, vm2)
+    assert route is not None
+    # Relay detour adds latency beyond the direct path.
+    assert route.extra_latency > 0
+
+
+def test_resolve_unregistered_vm_fails():
+    sim, topo, sched, hosts, overlay = build_world()
+    vm1 = make_vm(sim, hosts, "a", "vm1")
+    vm2 = make_vm(sim, hosts, "b", "vm2")
+    overlay.register(vm1)
+    from repro.network import Address
+    vm2.address = Address("b", 9)  # plain address, not overlay
+    assert overlay.resolve(vm1, vm2) is None
+
+
+def test_resolve_stale_after_silent_move():
+    sim, topo, sched, hosts, overlay = build_world()
+    vm1 = make_vm(sim, hosts, "a", "vm1")
+    vm2 = make_vm(sim, hosts, "b", "vm2")
+    overlay.register(vm1)
+    overlay.register(vm2)
+    # vm2 moves without any reconfiguration.
+    hosts["b"].evict(vm2)
+    hosts["c"].place(vm2)
+    assert overlay.resolve(vm1, vm2) is None
+    assert set(overlay.stale_routers(vm2)) == {"a", "b", "c"}
+
+
+def test_router_throughput_cap_propagates():
+    sim, topo, sched, hosts, overlay = build_world()
+    overlay.router_throughput = 5e6
+    vm1 = make_vm(sim, hosts, "a", "vm1")
+    vm2 = make_vm(sim, hosts, "b", "vm2")
+    overlay.register(vm1)
+    overlay.register(vm2)
+    route = overlay.resolve(vm1, vm2)
+    assert route.rate_cap == 5e6
+
+
+# -- reconfiguration -------------------------------------------------------
+
+
+def test_reconfiguration_converges_all_routers():
+    sim, topo, sched, hosts, overlay = build_world()
+    vm = make_vm(sim, hosts, "b", "vm1")
+    overlay.register(vm)
+    recon = MigrationReconfigurator(sim, overlay, detection_delay=0.05)
+    # Simulate the migration switch-over: b -> c.
+    hosts["b"].evict(vm)
+    hosts["c"].place(vm)
+    proc = recon.vm_migrated(vm, old_site="b")
+    record = sim.run(until=proc)
+    assert record.new_site == "c"
+    assert overlay.stale_routers(vm) == []
+    # Convergence takes detection + farthest control latency.
+    assert record.reconfiguration_latency > 0
+    assert record.reconfiguration_latency < 1.0
+    assert len(record.per_router_delay) == 3
+
+
+def test_reconfiguration_disabled_leaves_stale_routes():
+    sim, topo, sched, hosts, overlay = build_world()
+    vm = make_vm(sim, hosts, "b", "vm1")
+    overlay.register(vm)
+    recon = MigrationReconfigurator(sim, overlay, enabled=False)
+    hosts["b"].evict(vm)
+    hosts["c"].place(vm)
+    assert recon.vm_migrated(vm, old_site="b") is None
+    sim.run(until=5)
+    assert overlay.stale_routers(vm) != []
+
+
+# -- the headline behavior: TCP across an inter-cloud live migration -------
+
+
+def migrate_and_send(reconfig_enabled):
+    sim, topo, sched, hosts, overlay = build_world()
+    vm1 = make_vm(sim, hosts, "a", "vm1")
+    vm2 = make_vm(sim, hosts, "b", "vm2")
+    overlay.register(vm1)
+    overlay.register(vm2)
+    recon = MigrationReconfigurator(sim, overlay, enabled=reconfig_enabled)
+    migrator = LiveMigrator(sim, sched)
+    conn = Connection(sim, sched, overlay, vm1, vm2,
+                      rto_budget=15.0, retry_interval=0.1)
+    outcome = {}
+
+    def app(sim):
+        yield conn.send(1e5)
+        # Live-migrate vm2 from cloud b to cloud c mid-conversation.
+        old_site = vm2.site
+        stats = yield migrator.migrate(vm2, hosts["c"])
+        recon.vm_migrated(vm2, old_site=old_site)
+        try:
+            yield conn.send(1e5)
+            outcome["survived"] = True
+            outcome["stall"] = conn.max_stall
+        except ConnectionBroken:
+            outcome["survived"] = False
+
+    sim.process(app(sim))
+    sim.run()
+    return outcome, conn
+
+
+def test_tcp_survives_migration_with_reconfiguration():
+    outcome, conn = migrate_and_send(reconfig_enabled=True)
+    assert outcome["survived"]
+    assert conn.alive
+    # The send stalled only for the reconfiguration window.
+    assert outcome["stall"] < 2.0
+
+
+def test_tcp_breaks_without_reconfiguration():
+    outcome, conn = migrate_and_send(reconfig_enabled=False)
+    assert not outcome["survived"]
+    assert not conn.alive
+
+
+def test_migration_to_site_without_router_is_unroutable():
+    """A VM moved to a cloud outside the overlay cannot be reached even
+    after 'reconfiguration' — there is no router to update."""
+    sim, topo, sched, hosts, overlay = build_world()
+    topo.add_site(Site("outsider"))
+    topo.connect("a", "outsider", bandwidth=mbit_per_s(100), latency=0.02)
+    outside_host = PhysicalHost("h-x", "outsider", cores=8)
+    vm1 = make_vm(sim, hosts, "a", "vm1")
+    vm2 = make_vm(sim, hosts, "b", "vm2")
+    overlay.register(vm1)
+    overlay.register(vm2)
+    hosts["b"].evict(vm2)
+    outside_host.place(vm2)
+    # Without propagation the move is simply stale everywhere.
+    assert overlay.resolve(vm1, vm2) is None
+    # Even a manually-propagated location only fixes the sender side;
+    # the VM itself cannot originate overlay traffic without a local
+    # ViNe router at its new site.
+    for router in overlay.routers.values():
+        router.update(vm2.address.host, "outsider")
+    assert overlay.resolve(vm2, vm1) is None

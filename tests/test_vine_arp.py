@@ -1,0 +1,76 @@
+"""Tests for the ARP-level mechanics: gratuitous ARP and ARP proxy."""
+
+import pytest
+
+from repro.hypervisor import MemoryImage, PhysicalHost, VirtualMachine
+from repro.network import Site, Topology
+from repro.simkernel import Simulator
+from repro.vine import (
+    ArpProxyTable,
+    GratuitousArp,
+    MigrationReconfigurator,
+    ViNeOverlay,
+    emit_gratuitous_arp,
+)
+
+from tests.test_vine import build_world, make_vm
+
+
+def test_gratuitous_arp_observed_after_lan_latency():
+    sim = Simulator()
+    topo = Topology()
+    topo.add_site(Site("s", lan_latency=0.001))
+    proc = emit_gratuitous_arp(sim, topo, "vm1", overlay_host=7, site="s",
+                               router_pickup=0.05)
+    garp = sim.run(until=proc)
+    assert isinstance(garp, GratuitousArp)
+    assert garp.vm_name == "vm1"
+    assert garp.overlay_host == 7
+    assert garp.detection_latency == pytest.approx(0.051)
+
+
+def test_arp_proxy_table_lifecycle():
+    table = ArpProxyTable("s")
+    assert not table.is_proxying(1)
+    table.engage(1, at=10.0)
+    table.engage(1, at=20.0)  # idempotent
+    assert table.is_proxying(1)
+    assert len(table) == 1
+    assert table.engaged_total == 1
+    since = table.release(1)
+    assert since == 10.0
+    assert table.release(1) is None
+    assert len(table) == 0
+
+
+def test_reconfiguration_engages_and_releases_proxy():
+    sim, topo, sched, hosts, overlay = build_world()
+    vm = make_vm(sim, hosts, "b", "vm1")
+    overlay.register(vm)
+    recon = MigrationReconfigurator(sim, overlay, detection_delay=0.05)
+    old_router = overlay.router_of("b")
+
+    hosts["b"].evict(vm)
+    hosts["c"].place(vm)
+    proc = recon.vm_migrated(vm, old_site="b")
+    # The proxy engages synchronously at the switch-over...
+    assert old_router.arp_proxy.is_proxying(vm.address.host)
+    record = sim.run(until=proc)
+    # ...and is withdrawn once routing has converged.
+    assert not old_router.arp_proxy.is_proxying(vm.address.host)
+    assert old_router.arp_proxy.engaged_total == 1
+    # Detection latency includes the LAN hop + pickup.
+    assert record.detected_at > 0.05
+
+
+def test_reconfig_latency_includes_arp_detection():
+    sim, topo, sched, hosts, overlay = build_world()
+    vm = make_vm(sim, hosts, "b", "vm1")
+    overlay.register(vm)
+    fast = MigrationReconfigurator(sim, overlay, detection_delay=0.01)
+    hosts["b"].evict(vm)
+    hosts["c"].place(vm)
+    rec_fast = sim.run(until=fast.vm_migrated(vm, old_site="b"))
+    # Convergence happens strictly after detection.
+    assert rec_fast.completed_at >= rec_fast.detected_at
+    assert rec_fast.reconfiguration_latency > 0

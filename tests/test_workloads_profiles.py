@@ -1,0 +1,143 @@
+"""Tests for memory/disk content profiles."""
+
+import numpy as np
+import pytest
+
+from repro.hypervisor import UNIQUE_FLAG, ZERO_PAGE
+from repro.shrinker import ideal_dedup_saving
+from repro.workloads import (
+    MemoryProfile,
+    PROFILES,
+    database,
+    generate_disk_fingerprints,
+    idle,
+    kernel_build,
+    web_server,
+)
+
+
+def test_profile_catalogue_complete():
+    assert set(PROFILES) == {"idle", "web-server", "kernel-build", "database"}
+    for name, ctor in PROFILES.items():
+        profile = ctor()
+        assert profile.name == name
+
+
+def test_profile_fraction_validation():
+    with pytest.raises(ValueError):
+        MemoryProfile("bad", zero_fraction=0.7, shared_fraction=0.5,
+                      dirty_rate=10)
+    with pytest.raises(ValueError):
+        MemoryProfile("bad", zero_fraction=-0.1, shared_fraction=0.5,
+                      dirty_rate=10)
+    with pytest.raises(ValueError):
+        MemoryProfile("bad", zero_fraction=0.1, shared_fraction=0.1,
+                      dirty_rate=-5)
+    with pytest.raises(ValueError):
+        MemoryProfile("bad", zero_fraction=0.1, shared_fraction=0.1,
+                      dirty_rate=5, hot_fraction=0)
+
+
+def test_generated_memory_matches_fractions():
+    profile = web_server()  # zero 0.15, shared 0.45
+    rng = np.random.default_rng(1)
+    mem = profile.generate_memory(rng, 10_000)
+    n_zero = int((mem.pages == ZERO_PAGE).sum())
+    n_unique = int(((mem.pages & UNIQUE_FLAG) != 0).sum())
+    n_shared = 10_000 - n_zero - n_unique
+    assert n_zero == pytest.approx(1500, abs=2)
+    assert n_shared == pytest.approx(4500, abs=2)
+    assert n_unique == pytest.approx(4000, abs=2)
+
+
+def test_same_profile_yields_inter_vm_duplication():
+    profile = idle()
+    rng = np.random.default_rng(2)
+    m1 = profile.generate_memory(rng, 4096)
+    m2 = profile.generate_memory(rng, 4096)
+    saving = ideal_dedup_saving([m1.pages, m2.pages])
+    # Zero and shared content overlap across VMs: idle is 75% common.
+    assert saving > 0.35
+
+
+def test_different_os_pools_do_not_share():
+    p1 = MemoryProfile("a", 0.0, 1.0, 0, os_pool="debian")
+    p2 = MemoryProfile("b", 0.0, 1.0, 0, os_pool="centos")
+    rng = np.random.default_rng(3)
+    m1 = p1.generate_memory(rng, 1024)
+    m2 = p2.generate_memory(rng, 1024)
+    assert len(np.intersect1d(m1.pages, m2.pages)) == 0
+
+
+def test_unique_pages_distinct_across_vms():
+    profile = database()
+    rng = np.random.default_rng(4)
+    m1 = profile.generate_memory(rng, 2048)
+    m2 = profile.generate_memory(rng, 2048)
+    u1 = m1.pages[(m1.pages & UNIQUE_FLAG) != 0]
+    u2 = m2.pages[(m2.pages & UNIQUE_FLAG) != 0]
+    assert len(np.intersect1d(u1, u2)) == 0
+
+
+def test_pick_indices_hot_set_bias():
+    profile = web_server()
+    rng = np.random.default_rng(5)
+    picks = np.concatenate([
+        profile.pick_indices(rng, 100, 10_000) for _ in range(50)
+    ])
+    hot_size = int(profile.hot_fraction * 10_000)
+    hot_share = (picks < hot_size).mean()
+    assert hot_share > 0.7  # hot_weight = 0.9, some dedup noise
+
+
+def test_pick_indices_within_bounds_and_unique():
+    profile = idle()
+    rng = np.random.default_rng(6)
+    picks = profile.pick_indices(rng, 500, 1000)
+    assert picks.min() >= 0 and picks.max() < 1000
+    assert len(np.unique(picks)) == len(picks)
+
+
+def test_dirty_values_mixture():
+    profile = web_server()  # dirty_shared_fraction = 0.35
+    rng = np.random.default_rng(7)
+    values = profile.dirty_values(rng, 10_000)
+    shared = ((values & UNIQUE_FLAG) == 0).mean()
+    assert shared == pytest.approx(0.35, abs=0.05)
+
+
+def test_dirty_shared_values_common_across_vms():
+    profile = idle()
+    rng1, rng2 = np.random.default_rng(8), np.random.default_rng(9)
+    v1 = profile.dirty_values(rng1, 5000)
+    v2 = profile.dirty_values(rng2, 5000)
+    s1 = v1[(v1 & UNIQUE_FLAG) == 0]
+    s2 = v2[(v2 & UNIQUE_FLAG) == 0]
+    # Drawn from the same small pool: heavy overlap.
+    assert len(np.intersect1d(s1, s2)) > 0.5 * min(len(s1), len(s2)) * 0.5
+
+
+def test_workload_ordering_by_redundancy():
+    """idle > web > kernel-build > database in dedupable content."""
+    rng = np.random.default_rng(10)
+    savings = {}
+    for ctor in (idle, web_server, kernel_build, database):
+        profile = ctor()
+        mems = [profile.generate_memory(rng, 4096).pages for _ in range(2)]
+        savings[profile.name] = ideal_dedup_saving(mems)
+    assert (savings["idle"] > savings["web-server"]
+            > savings["kernel-build"] > savings["database"])
+
+
+def test_disk_fingerprints_shared_base():
+    rng = np.random.default_rng(11)
+    d1 = generate_disk_fingerprints(rng, 4096)
+    d2 = generate_disk_fingerprints(rng, 4096)
+    saving = ideal_dedup_saving([d1, d2])
+    assert saving > 0.3  # 75% shared base content
+
+
+def test_disk_fingerprints_validation():
+    rng = np.random.default_rng(12)
+    with pytest.raises(ValueError):
+        generate_disk_fingerprints(rng, 100, shared_fraction=1.5)
