@@ -17,8 +17,22 @@ substrate, every system the paper describes:
 * :mod:`repro.patterns` — communication-pattern detection (§III-C);
 * :mod:`repro.autonomic` — communication-aware adaptation (§III-C);
 * :mod:`repro.emr` — the Elastic MapReduce service (§IV);
+* :mod:`repro.controlplane` — the multi-tenant control plane: job
+  queue with admission control, lease-based grants, fair-share
+  scheduling and self-healing over the federation;
 * :mod:`repro.workloads` — memory profiles, BLAST, price traces,
   communication patterns.
+
+A complete control-plane scenario in five lines::
+
+    from repro import ControlPlane
+    from repro.testbeds import two_cloud_testbed
+
+    tb = two_cloud_testbed(memory_pages=256, image_blocks=1024)
+    plane = ControlPlane(tb.sim, tb.federation, tb.image_name).start()
+    plane.register_tenant("alice", weight=2.0)
+    jobs = [plane.submit("alice", n_nodes=2, runtime=120.0) for _ in range(3)]
+    tb.sim.run(until=plane.all_done(jobs))
 
 See ``examples/quickstart.py`` for a complete multi-cloud scenario.
 """
@@ -56,6 +70,19 @@ from .sky import (
     SingleCloud,
     SkyMigrationService,
 )
+from .controlplane import (
+    ControlPlane,
+    FailureInjector,
+    FairShareScheduler,
+    HealthMonitor,
+    Job,
+    JobQueue,
+    JobState,
+    Lease,
+    LeaseManager,
+    SchedulerConfig,
+    Tenant,
+)
 from .mapreduce import ElasticCluster, JobTracker, MapReduceJob
 from .patterns import GroundTruthRecorder, HypervisorSniffer, TrafficMatrix
 from .autonomic import AdaptationEngine, CommunicationAwarePlanner
@@ -74,17 +101,26 @@ __all__ = [
     "CommunicationAwarePlanner",
     "Connection",
     "ContentRegistry",
+    "ControlPlane",
     "DeadlineScalePolicy",
     "DynamicInfrastructure",
     "ElasticCluster",
     "ElasticMapReduceService",
+    "FailureInjector",
+    "FairShareScheduler",
     "Federation",
     "FlowScheduler",
     "GroundTruthRecorder",
+    "HealthMonitor",
     "HypervisorSniffer",
     "InstancePricing",
     "Interrupt",
+    "Job",
+    "JobQueue",
+    "JobState",
     "JobTracker",
+    "Lease",
+    "LeaseManager",
     "LiveMigrator",
     "MapReduceJob",
     "MemoryImage",
@@ -94,9 +130,11 @@ __all__ = [
     "MigrationReconfigurator",
     "PhysicalHost",
     "RegistryDirectory",
+    "SchedulerConfig",
     "ShrinkerCodec",
     "SingleCloud",
     "Site",
+    "Tenant",
     "Simulator",
     "TimeSeries",
     "SkyMigrationService",

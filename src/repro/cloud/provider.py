@@ -183,31 +183,45 @@ class Cloud:
                    memory_factory, name_prefix):
         pages = spec.memory_pages or image.default_memory_pages
         hosts = self._pick_hosts(count, spec, pages)
-        # Propagate the image to the distinct hosts involved.
-        distinct = list({h.name: h for h in hosts}.values())
-        yield self.propagation.deploy(image, distinct)
 
+        # Reserve the capacity *before* the propagation wait: hosts are
+        # claimed synchronously so concurrent provisioning batches never
+        # double-book a host they both saw as free.
         vms: List[VirtualMachine] = []
         prefix = name_prefix or f"{self.name}-{image.name}"
-        for host in hosts:
-            self._counter += 1
-            vm_name = f"{prefix}-{self._counter}"
-            memory = (memory_factory(vm_name) if memory_factory
-                      else MemoryImage(pages))
-            if memory.n_pages != pages:
-                raise CloudError(
-                    f"memory_factory produced {memory.n_pages} pages, "
-                    f"spec asks for {pages}"
-                )
-            disk = CowDisk(f"{vm_name}-disk", image.disk)
-            vm = VirtualMachine(self.sim, vm_name, memory, disk=disk,
-                                vcpus=spec.vcpus)
-            host.place(vm)
-            vm.address = self.address_pool.allocate(vm_name)
-            vms.append(vm)
+        try:
+            for host in hosts:
+                self._counter += 1
+                vm_name = f"{prefix}-{self._counter}"
+                memory = (memory_factory(vm_name) if memory_factory
+                          else MemoryImage(pages))
+                if memory.n_pages != pages:
+                    raise CloudError(
+                        f"memory_factory produced {memory.n_pages} pages, "
+                        f"spec asks for {pages}"
+                    )
+                disk = CowDisk(f"{vm_name}-disk", image.disk)
+                vm = VirtualMachine(self.sim, vm_name, memory, disk=disk,
+                                    vcpus=spec.vcpus)
+                host.place(vm)
+                vm.address = self.address_pool.allocate(vm_name)
+                vms.append(vm)
 
-        # Guests boot in parallel.
-        yield self.sim.timeout(self.boot_delay)
+            # Propagate the image to the distinct hosts involved, then
+            # boot the guests in parallel.
+            distinct = list({h.name: h for h in hosts}.values())
+            yield self.propagation.deploy(image, distinct)
+            yield self.sim.timeout(self.boot_delay)
+        except BaseException:
+            # Return every reservation of the failed batch (atomicity:
+            # a partial batch never holds capacity or addresses).
+            for vm in vms:
+                if vm.host is not None:
+                    vm.host.evict(vm)
+                self.address_pool.release(vm.address)
+                vm.stop()
+            raise
+
         for vm in vms:
             vm.boot()
             self.instances.append(vm)

@@ -1,0 +1,51 @@
+"""The multi-tenant control plane (the user-facing layer).
+
+Everything below this package simulates *mechanism* — federation,
+migration, overlays, elasticity.  The control plane adds *policy and
+tenancy* on top: users submit :class:`Job`\\ s to a :class:`JobQueue`
+(admission control, per-tenant priorities and quotas), a
+:class:`FairShareScheduler` matches them to clouds by price and
+utilization and provisions leased virtual clusters, a
+:class:`LeaseManager` guarantees expired grants return their capacity,
+and a :class:`HealthMonitor` replaces failed VMs, requeues their jobs,
+and live-migrates work off draining hosts.
+
+Example
+-------
+>>> from repro.controlplane import ControlPlane
+>>> from repro.testbeds import two_cloud_testbed
+>>> tb = two_cloud_testbed(memory_pages=256, image_blocks=1024)
+>>> plane = ControlPlane(tb.sim, tb.federation, tb.image_name).start()
+>>> _ = plane.register_tenant("alice", weight=2.0)
+>>> jobs = [plane.submit("alice", n_nodes=2, runtime=120.0)
+...         for _ in range(3)]
+>>> tb.sim.run(until=plane.all_done(jobs))  # doctest: +ELLIPSIS
+<ConditionValue ...>
+>>> plane.summary()["completed"]
+3
+"""
+
+from .health import FailureInjector, HealEvent, HealthMonitor
+from .jobs import Job, JobState, Tenant
+from .lease import Lease, LeaseError, LeaseManager, LeaseState
+from .plane import ControlPlane
+from .queue import AdmissionError, JobQueue
+from .scheduler import FairShareScheduler, SchedulerConfig
+
+__all__ = [
+    "AdmissionError",
+    "ControlPlane",
+    "FailureInjector",
+    "FairShareScheduler",
+    "HealEvent",
+    "HealthMonitor",
+    "Job",
+    "JobQueue",
+    "JobState",
+    "Lease",
+    "LeaseError",
+    "LeaseManager",
+    "LeaseState",
+    "SchedulerConfig",
+    "Tenant",
+]

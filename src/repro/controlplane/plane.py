@@ -1,0 +1,138 @@
+"""The control plane facade: every component wired and started.
+
+:class:`ControlPlane` is the user-facing object the paper's "unified
+infrastructure" implies: register tenants, submit jobs, and the queue,
+lease manager, fair-share scheduler and health monitor do the rest over
+the federation.  All components share one
+:class:`~repro.metrics.MetricsRecorder`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..cloud.provider import InstanceSpec
+from ..metrics import MetricsRecorder
+from ..simkernel import Event, Simulator
+from ..sky.federation import Federation
+from .health import HealthMonitor
+from .jobs import Job, JobState, Tenant
+from .lease import LeaseManager
+from .queue import JobQueue
+from .scheduler import FairShareScheduler, SchedulerConfig
+
+
+class ControlPlane:
+    """Multi-tenant job service over a sky-computing federation.
+
+    Parameters
+    ----------
+    federation, image_name:
+        The substrate and the image every job cluster boots from (must
+        be registered at every member cloud).
+    config:
+        Scheduler tuning (interval, lease term, elasticity, ...).
+    heal_policy:
+        ``"replace"`` (default) grows replacements for failed VMs in
+        place; ``"requeue"`` restarts the whole job.
+    health_interval / sweep_interval:
+        Health-check and lease-expiry sweep periods.
+    spot_markets:
+        Optional ``{cloud_name: SpotMarket}`` consulted for placement
+        pricing.
+    """
+
+    def __init__(self, sim: Simulator, federation: Federation,
+                 image_name: str,
+                 config: Optional[SchedulerConfig] = None,
+                 metrics: Optional[MetricsRecorder] = None,
+                 spot_markets: Optional[Dict[str, object]] = None,
+                 heal_policy: str = "replace",
+                 health_interval: float = 30.0,
+                 sweep_interval: float = 30.0):
+        self.sim = sim
+        self.federation = federation
+        self.image_name = image_name
+        self.metrics = metrics if metrics is not None else MetricsRecorder(sim)
+        self.config = config or SchedulerConfig()
+        self.queue = JobQueue(sim, federation, spec=self.config.spec,
+                              metrics=self.metrics)
+        self.leases = LeaseManager(sim, federation, metrics=self.metrics,
+                                   sweep_interval=sweep_interval)
+        self.leases.charge = lambda tenant, ns: (
+            self.queue.tenants[tenant].charge(ns)
+            if tenant in self.queue.tenants else None)
+        self.scheduler = FairShareScheduler(
+            sim, federation, self.queue, self.leases, image_name,
+            metrics=self.metrics, spot_markets=spot_markets,
+            config=self.config)
+        self.health = HealthMonitor(
+            sim, federation, self.leases, self.scheduler,
+            interval=health_interval, policy=heal_policy,
+            metrics=self.metrics)
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "ControlPlane":
+        """Start the scheduler loop, lease sweeper and health monitor."""
+        self.leases.start()
+        self.scheduler.start()
+        self.health.start()
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        self.scheduler.stop()
+        self.leases.stop()
+        self.health.stop()
+        self._started = False
+
+    # -- user API --------------------------------------------------------
+
+    def register_tenant(self, name: str, weight: float = 1.0,
+                        **quotas) -> Tenant:
+        return self.queue.register_tenant(name, weight=weight, **quotas)
+
+    def submit(self, tenant: str, n_nodes: int, runtime: float,
+               priority: int = 0, min_nodes: Optional[int] = None,
+               max_nodes: Optional[int] = None,
+               name: Optional[str] = None) -> Job:
+        """Build and admit one job; returns it (with a ``done`` event)."""
+        job = Job(self.sim, tenant, n_nodes, runtime, priority=priority,
+                  min_nodes=min_nodes, max_nodes=max_nodes, name=name)
+        return self.queue.submit(job)
+
+    def all_done(self, jobs: Iterable[Job]) -> Event:
+        """Event firing when every job completed or failed terminally."""
+        return self.sim.all_of([job.done for job in jobs])
+
+    # -- reporting -------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        finished: List[Job] = [
+            l.job for l in self.leases.leases
+            if l.job is not None and l.job.state is JobState.COMPLETED
+        ]
+        waits = [j.wait_time for j in {id(j): j for j in finished}.values()
+                 if j.wait_time is not None]
+        return {
+            "submitted": self.queue.submitted,
+            "completed": self.scheduler.jobs_completed,
+            "failed": self.scheduler.jobs_failed,
+            "requeued": self.scheduler.jobs_requeued,
+            "queued": self.queue.depth(),
+            "leases": len(self.leases.leases),
+            "leases_expired": self.leases.expired_count,
+            "leases_leaked": len(self.leases.leaked()),
+            "heal_events": len(self.health.events),
+            "mean_wait": (sum(waits) / len(waits)) if waits else 0.0,
+            "usage_by_tenant": {t.name: t.usage
+                                for t in self.queue.tenants.values()},
+        }
+
+    def __repr__(self):
+        state = "started" if self._started else "stopped"
+        return (f"<ControlPlane {state} tenants={len(self.queue.tenants)} "
+                f"queued={self.queue.depth()} "
+                f"active_leases={len(self.leases.active_leases())}>")

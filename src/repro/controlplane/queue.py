@@ -1,0 +1,165 @@
+"""Job submission: per-tenant priority queues and admission control.
+
+The queue is the control plane's front door.  :meth:`JobQueue.submit`
+admits a job only if (a) its owner is registered, (b) it could ever fit
+the federation (no cloud reconfiguration would make an impossible job
+runnable), and (c) the tenant is within its quotas — reusing the cloud
+layer's :class:`~repro.cloud.provider.QuotaExceeded` so quota failures
+look the same at every layer.  Admitted jobs wait in per-tenant queues
+ordered by priority then submission; *which* tenant goes next is the
+fair-share scheduler's decision, not the queue's.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Dict, List, Optional
+
+from ..cloud.provider import CloudError, InstanceSpec, QuotaExceeded
+from ..metrics import MetricsRecorder
+from ..simkernel import Event, Simulator
+from ..sky.federation import Federation
+from .jobs import Job, JobState, Tenant
+
+
+class AdmissionError(CloudError):
+    """The job can never run on this federation (too big, bad tenant)."""
+
+
+class JobQueue:
+    """Per-tenant queues with admission control against the federation."""
+
+    def __init__(self, sim: Simulator, federation: Federation,
+                 spec: InstanceSpec = InstanceSpec(),
+                 metrics: Optional[MetricsRecorder] = None):
+        self.sim = sim
+        self.federation = federation
+        self.spec = spec
+        self.metrics = metrics
+        self.tenants: Dict[str, Tenant] = {}
+        #: Per-tenant queues, each sorted by (-priority, job.id).
+        self._queues: Dict[str, List[Job]] = {}
+        self._arrival: Event = sim.event()
+        self.submitted = 0
+        self.rejected = 0
+
+    # -- tenants ---------------------------------------------------------
+
+    def register_tenant(self, name: str, weight: float = 1.0,
+                        max_queued: Optional[int] = None,
+                        max_nodes: Optional[int] = None) -> Tenant:
+        if name in self.tenants:
+            raise ValueError(f"tenant {name!r} already registered")
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        tenant = Tenant(name, weight=weight, max_queued=max_queued,
+                        max_nodes=max_nodes)
+        self.tenants[name] = tenant
+        self._queues[name] = []
+        return tenant
+
+    def tenant(self, name: str) -> Tenant:
+        try:
+            return self.tenants[name]
+        except KeyError:
+            raise AdmissionError(f"unknown tenant {name!r}") from None
+
+    # -- capacity --------------------------------------------------------
+
+    def potential_capacity(self) -> int:
+        """Most instances of ``spec`` the federation could *ever* hold
+        (empty clouds, quotas respected) — the admission ceiling."""
+        total = 0
+        pages = self.spec.memory_pages or 65536
+        ram = pages * 4096
+        for cloud in self.federation.clouds.values():
+            fit = sum(min(h.cores // self.spec.vcpus, int(h.ram_bytes // ram))
+                      for h in cloud.hosts)
+            if cloud.quota is not None:
+                fit = min(fit, cloud.quota)
+            total += fit
+        return total
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, job: Job) -> Job:
+        """Admit ``job`` or raise (:class:`AdmissionError` /
+        :class:`QuotaExceeded`).  Admitted jobs become QUEUED."""
+        tenant = self.tenant(job.tenant)
+        if job.state is not JobState.PENDING:
+            raise AdmissionError(f"{job.name!r} is {job.state.value}, "
+                                 f"only pending jobs can be submitted")
+        if job.min_nodes > self.potential_capacity():
+            job.state = JobState.REJECTED
+            self.rejected += 1
+            raise AdmissionError(
+                f"{job.name!r} needs {job.min_nodes} nodes; the federation "
+                f"can hold at most {self.potential_capacity()}"
+            )
+        if (tenant.max_queued is not None
+                and len(self._queues[job.tenant]) >= tenant.max_queued):
+            job.state = JobState.REJECTED
+            self.rejected += 1
+            raise QuotaExceeded(
+                f"tenant {tenant.name!r} already has "
+                f"{len(self._queues[job.tenant])} queued jobs "
+                f"(quota {tenant.max_queued})"
+            )
+        job.submitted_at = self.sim.now
+        tenant.jobs_submitted += 1
+        self.submitted += 1
+        self._enqueue(job)
+        return job
+
+    def resubmit(self, job: Job) -> Job:
+        """Requeue a previously running job (self-healing path): no
+        admission re-check, original submission time kept for ordering."""
+        job.work_remaining = job.total_work
+        self._enqueue(job)
+        return job
+
+    def _enqueue(self, job: Job) -> None:
+        job.state = JobState.QUEUED
+        # Sort key: priority descending, then submission order (job.id
+        # is monotonic, so requeued jobs resume their original rank).
+        insort(self._queues[job.tenant], job,
+               key=lambda j: (-j.priority, j.id))
+        if self.metrics is not None:
+            self.metrics.record("queue.depth", self.depth())
+        self._signal_arrival()
+
+    def _signal_arrival(self) -> None:
+        arrival, self._arrival = self._arrival, self.sim.event()
+        arrival.succeed()
+
+    @property
+    def arrival(self) -> Event:
+        """Fires on the next submission (scheduler wake-up)."""
+        return self._arrival
+
+    # -- consumption (scheduler side) ------------------------------------
+
+    def depth(self, tenant: Optional[str] = None) -> int:
+        if tenant is not None:
+            return len(self._queues.get(tenant, ()))
+        return sum(len(q) for q in self._queues.values())
+
+    def peek(self, tenant: str) -> Optional[Job]:
+        q = self._queues.get(tenant)
+        return q[0] if q else None
+
+    def pop(self, tenant: str) -> Job:
+        q = self._queues[tenant]
+        if not q:
+            raise LookupError(f"tenant {tenant!r} has no queued jobs")
+        job = q.pop(0)
+        if self.metrics is not None:
+            self.metrics.record("queue.depth", self.depth())
+        return job
+
+    def backlog(self) -> Dict[str, int]:
+        """Queued jobs per tenant (insertion-ordered, deterministic)."""
+        return {name: len(q) for name, q in self._queues.items()}
+
+    def __repr__(self):
+        return f"<JobQueue depth={self.depth()} tenants={len(self.tenants)}>"

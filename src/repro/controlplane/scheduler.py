@@ -1,0 +1,415 @@
+"""The fair-share scheduler: matches queued jobs to clouds.
+
+A single scheduler loop runs as a simkernel process.  Each round it
+
+1. ranks tenants by *effective usage per unit weight* (charged usage
+   plus the reserved work of outstanding grants) and grants the most
+   underserved tenant's head job first — weighted fair share;
+2. places each grant on the cloud minimizing a price+utilization score
+   (spot-market price taken when the local market is cheaper than
+   on-demand), spanning clouds only when no single cloud fits;
+3. provisions a virtual cluster through
+   :meth:`~repro.sky.federation.Federation.create_virtual_cluster`,
+   wraps it in a lease, and runs the job against it;
+4. adjusts malleable jobs to queue pressure: grows idle-capacity
+   clusters when the queue is empty, shrinks over-provisioned ones back
+   to ``min_nodes`` when jobs are waiting.
+
+Placement decisions are made synchronously between events, with
+commitment accounting so concurrent in-flight provisions never
+oversubscribe a cloud; everything is deterministic under a fixed
+workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..cloud.provider import Cloud, CloudError, InstanceSpec
+from ..metrics import MetricsRecorder
+from ..simkernel import Interrupt, Process, Simulator
+from ..sky.federation import Federation, FederationError
+from ..sky.scheduler import PlacementError
+from .jobs import Job, JobState, Tenant
+from .lease import Lease, LeaseManager
+from .queue import JobQueue
+
+
+@dataclass
+class SchedulerConfig:
+    """Tuning knobs for :class:`FairShareScheduler`."""
+
+    #: Scheduling/accounting round length (seconds).
+    interval: float = 10.0
+    #: Initial lease term; runners renew while their job needs it.
+    lease_term: float = 900.0
+    #: Instance shape for every grant.
+    spec: InstanceSpec = field(default_factory=InstanceSpec)
+    #: Run the contextualization barrier on provisioned clusters.
+    contextualize: bool = False
+    #: Placement score = price + util_weight * cloud utilization.
+    util_weight: float = 0.05
+    #: Give up on a job after this many (re)starts.
+    max_attempts: int = 5
+    #: Enable grow/shrink of malleable jobs with queue pressure.
+    elastic: bool = True
+
+
+class _FixedAllocation:
+    """Placement policy that returns a pre-computed split (the scheduler
+    already decided; the federation just executes it)."""
+
+    def __init__(self, allocation: Dict[str, int]):
+        self.allocation = dict(allocation)
+
+    def allocate(self, clouds, n, spec):
+        return dict(self.allocation)
+
+
+class FairShareScheduler:
+    """Weighted fair-share scheduling of leased virtual clusters."""
+
+    def __init__(self, sim: Simulator, federation: Federation,
+                 queue: JobQueue, leases: LeaseManager, image_name: str,
+                 metrics: Optional[MetricsRecorder] = None,
+                 spot_markets: Optional[Dict[str, object]] = None,
+                 config: Optional[SchedulerConfig] = None):
+        self.sim = sim
+        self.federation = federation
+        self.queue = queue
+        self.leases = leases
+        self.image_name = image_name
+        self.metrics = metrics
+        #: Optional per-cloud :class:`~repro.cloud.spot.SpotMarket`
+        #: consulted for placement pricing.
+        self.spot_markets = spot_markets or {}
+        self.config = config or SchedulerConfig()
+        #: Nodes promised to in-flight provisions, per cloud.
+        self._committed: Dict[str, int] = {n: 0 for n in federation.clouds}
+        #: Nodes promised to in-flight provisions, per tenant (so node
+        #: quotas hold before the lease materializes).
+        self._tenant_inflight: Dict[str, int] = {}
+        self.jobs_completed = 0
+        self.jobs_requeued = 0
+        self.jobs_failed = 0
+        self.grows = 0
+        self.shrinks = 0
+        self._loop: Optional[Process] = None
+        self._running = False
+        # Expired leases with a live job come back through the queue.
+        leases.on_expire = self._lease_expired
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> Process:
+        """Start the scheduling loop (idempotent)."""
+        if self._loop is None or not self._loop.is_alive:
+            self._running = True
+            self._loop = self.sim.process(self._run(), name="fair-share")
+        return self._loop
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _run(self):
+        while self._running:
+            self._dispatch_round()
+            if self.config.elastic:
+                self._adjust_elastic()
+            if self.metrics is not None:
+                self.metrics.record("lease.utilization",
+                                    self.leases.utilization())
+            yield self.sim.any_of([self.sim.timeout(self.config.interval),
+                                   self.queue.arrival])
+
+    # -- fair share ------------------------------------------------------
+
+    def effective_usage(self, tenant: Tenant) -> float:
+        """Charged usage plus the expected work of outstanding grants.
+
+        Reserving a job's full node-seconds at dispatch (reconciled
+        when its lease ends) makes consecutive grants in one round see
+        each other — without it a single tenant sweeps every free slot
+        before its in-flight leases accrue any billable age."""
+        return tenant.usage + tenant.reserved
+
+    def _ranked_tenants(self) -> List[Tenant]:
+        """Tenants with queued work, most underserved first."""
+        with_work = [t for t in self.queue.tenants.values()
+                     if self.queue.depth(t.name) > 0]
+        return sorted(with_work,
+                      key=lambda t: (self.effective_usage(t) / t.weight,
+                                     t.name))
+
+    # -- placement -------------------------------------------------------
+
+    def _available(self, cloud: Cloud) -> int:
+        return max(0, cloud.capacity(self.config.spec)
+                   - self._committed[cloud.name])
+
+    def _price(self, cloud: Cloud) -> float:
+        """Effective hourly price: the local spot market when cheaper."""
+        on_demand = cloud.pricing.on_demand_hourly
+        market = self.spot_markets.get(cloud.name)
+        if market is not None and market.current_price < on_demand:
+            return market.current_price
+        return on_demand
+
+    def _score(self, cloud: Cloud) -> float:
+        cores = sum(h.cores for h in cloud.hosts)
+        used = sum(h.used_cores for h in cloud.hosts)
+        utilization = used / cores if cores else 1.0
+        return self._price(cloud) + self.config.util_weight * utilization
+
+    def _allocate(self, job: Job) -> Optional[Dict[str, int]]:
+        """Pick clouds for ``job`` right now, or None if it must wait."""
+        clouds = sorted(self.federation.clouds.values(),
+                        key=lambda c: (self._score(c), c.name))
+        available = {c.name: self._available(c) for c in clouds}
+        total = sum(available.values())
+        if total < job.min_nodes:
+            return None
+        target = min(job.n_nodes, total)
+        # Best single cloud that fits the whole grant wins (locality).
+        for cloud in clouds:
+            if available[cloud.name] >= target:
+                return {cloud.name: target}
+        # Otherwise span, filling in score order.
+        allocation: Dict[str, int] = {}
+        remaining = target
+        for cloud in clouds:
+            take = min(remaining, available[cloud.name])
+            if take:
+                allocation[cloud.name] = take
+                remaining -= take
+            if remaining == 0:
+                break
+        return allocation
+
+    def _within_tenant_quota(self, job: Job, n: int) -> bool:
+        tenant = self.queue.tenants[job.tenant]
+        if tenant.max_nodes is None:
+            return True
+        held = sum(l.n_nodes for l in self.leases.active_leases()
+                   if l.tenant == job.tenant)
+        held += self._tenant_inflight.get(job.tenant, 0)
+        return held + n <= tenant.max_nodes
+
+    # -- dispatch --------------------------------------------------------
+
+    def _dispatch_round(self) -> None:
+        progressed = True
+        while progressed and self.queue.depth() > 0:
+            progressed = False
+            for tenant in self._ranked_tenants():
+                job = self.queue.peek(tenant.name)
+                allocation = self._allocate(job)
+                if allocation is None:
+                    continue
+                n = sum(allocation.values())
+                if not self._within_tenant_quota(job, n):
+                    continue
+                self.queue.pop(tenant.name)
+                for name, count in allocation.items():
+                    self._committed[name] += count
+                self._tenant_inflight[job.tenant] = (
+                    self._tenant_inflight.get(job.tenant, 0) + n)
+                tenant.reserved += job.total_work
+                job._runner = self.sim.process(
+                    self._run_job(job, allocation),
+                    name=f"run-{job.name}",
+                )
+                progressed = True
+                break  # re-rank: the grant changed effective usage
+
+    def _run_job(self, job: Job, allocation: Dict[str, int]):
+        cfg = self.config
+        n = sum(allocation.values())
+        try:
+            cluster = yield self.federation.create_virtual_cluster(
+                self.image_name, n, policy=_FixedAllocation(allocation),
+                spec=cfg.spec, contextualize=cfg.contextualize,
+                name=job.name,
+            )
+        except (CloudError, PlacementError, FederationError):
+            # Lost a provisioning race; back in the queue untouched.
+            self.queue.tenants[job.tenant].reserved -= job.total_work
+            self.queue.resubmit(job)
+            return
+        finally:
+            for name, count in allocation.items():
+                self._committed[name] -= count
+            self._tenant_inflight[job.tenant] -= n
+
+        lease = self.leases.grant(job.tenant, cluster, cfg.lease_term,
+                                  job=job)
+        job.state = JobState.RUNNING
+        job.attempts += 1
+        if job.started_at is None:
+            job.started_at = self.sim.now
+            if self.metrics is not None:
+                self.metrics.record("queue.wait", job.wait_time)
+
+        try:
+            while job.work_remaining > 0:
+                nodes = max(1, len(cluster.vms))
+                dt = min(cfg.interval, job.work_remaining / nodes)
+                if lease.remaining < dt + cfg.interval:
+                    self.leases.renew(lease)
+                yield self.sim.timeout(dt)
+                job.work_remaining = max(0.0, job.work_remaining - nodes * dt)
+        except Interrupt:
+            return  # requeue/teardown handled by the interrupter
+
+        job._runner = None
+        job.state = JobState.COMPLETED
+        job.finished_at = self.sim.now
+        self.queue.tenants[job.tenant].reserved -= job.total_work
+        self.queue.tenants[job.tenant].jobs_completed += 1
+        self.jobs_completed += 1
+        if lease.active:
+            self.leases.release(lease)
+        if self.metrics is not None:
+            self.metrics.record("jobs.completed", self.jobs_completed)
+            self.metrics.record("job.turnaround", job.turnaround)
+        job.done.succeed(job)
+
+    # -- self-healing / requeue -----------------------------------------
+
+    def requeue(self, lease: Lease, reason: str = "requeue") -> None:
+        """Pull a lease's job back into the queue (failed VM, drain,
+        expiry).  Releases the lease if still active; the job restarts
+        from scratch unless it exhausted ``max_attempts``."""
+        job = lease.job
+        if job is None or job.state is not JobState.RUNNING:
+            if lease.active:
+                self.leases.release(lease)
+            return
+        runner = job._runner
+        if (runner is not None and runner.is_alive
+                and runner is not self.sim.active_process):
+            runner.interrupt(reason)
+        job._runner = None
+        self.queue.tenants[job.tenant].reserved -= job.total_work
+        if lease.active:
+            self.leases.release(lease)
+        if job.attempts >= self.config.max_attempts:
+            job.state = JobState.FAILED
+            job.finished_at = self.sim.now
+            self.jobs_failed += 1
+            if self.metrics is not None:
+                self.metrics.record("jobs.failed", self.jobs_failed)
+            job.done.succeed(job)
+            return
+        self.jobs_requeued += 1
+        if self.metrics is not None:
+            self.metrics.record("jobs.requeued", self.jobs_requeued)
+        self.queue.resubmit(job)
+
+    def _lease_expired(self, lease: Lease) -> None:
+        self.requeue(lease, reason="lease-expired")
+
+    # -- elasticity ------------------------------------------------------
+
+    def _elastic_leases(self) -> List[Lease]:
+        return [l for l in self.leases.active_leases()
+                if l.job is not None and l.job.state is JobState.RUNNING
+                and l.job.elastic]
+
+    def _adjust_elastic(self) -> None:
+        if self.queue.depth() > 0:
+            # Pressure: shrink one over-provisioned cluster to min_nodes.
+            for lease in self._elastic_leases():
+                job = lease.job
+                excess = len(lease.cluster.vms) - job.min_nodes
+                if excess <= 0:
+                    continue
+                victims = [vm for vm in reversed(lease.cluster.vms)
+                           if vm is not lease.cluster.master][:excess]
+                if not victims:
+                    continue
+                self.federation.shrink_cluster(lease.cluster, victims)
+                self.shrinks += 1
+                if self.metrics is not None:
+                    self.metrics.record("elastic.shrink", self.shrinks)
+                return
+        else:
+            # Idle capacity: grow the oldest malleable job.
+            for lease in self._elastic_leases():
+                job = lease.job
+                gap = job.max_nodes - len(lease.cluster.vms)
+                if gap <= 0:
+                    continue
+                clouds = sorted(self.federation.clouds.values(),
+                                key=lambda c: (self._score(c), c.name))
+                for cloud in clouds:
+                    take = min(gap, self._available(cloud))
+                    if take > 0:
+                        self._committed[cloud.name] += take
+                        self.sim.process(
+                            self._grow(lease, cloud.name, take),
+                            name=f"grow-{job.name}",
+                        )
+                        return
+                return
+
+    def replace_nodes(self, lease: Lease, count: int):
+        """Grow ``count`` replacement nodes into a healing lease's
+        cluster, cheapest clouds first (generator for the health
+        monitor; raises :class:`CloudError` if the federation cannot
+        hold the replacements)."""
+        clouds = sorted(self.federation.clouds.values(),
+                        key=lambda c: (self._score(c), c.name))
+        remaining = count
+        for cloud in clouds:
+            take = min(remaining, self._available(cloud))
+            if take <= 0:
+                continue
+            self._committed[cloud.name] += take
+            try:
+                vms = yield self.federation.grow_cluster(
+                    lease.cluster, take, cloud.name)
+            finally:
+                self._committed[cloud.name] -= take
+            if not lease.active:
+                self._dispose_orphans(lease, cloud.name, vms)
+                return
+            remaining -= take
+            if remaining == 0:
+                break
+        if remaining:
+            raise CloudError(
+                f"no capacity to replace {remaining} nodes of lease "
+                f"#{lease.id}"
+            )
+
+    def _grow(self, lease: Lease, cloud_name: str, count: int):
+        try:
+            vms = yield self.federation.grow_cluster(
+                lease.cluster, count, cloud_name)
+        except (CloudError, FederationError):
+            return
+        finally:
+            self._committed[cloud_name] -= count
+        self.grows += 1
+        if self.metrics is not None:
+            self.metrics.record("elastic.grow", self.grows)
+        if not lease.active:
+            self._dispose_orphans(lease, cloud_name, vms)
+
+    def _dispose_orphans(self, lease: Lease, cloud_name: str,
+                         vms) -> None:
+        """Terminate VMs grown into a lease that ended mid-boot."""
+        cloud = self.federation.cloud(cloud_name)
+        for vm in vms:
+            if vm in lease.cluster.vms:
+                lease.cluster.vms.remove(vm)
+            self.federation.overlay.unregister(vm)
+            if vm in cloud.instances:
+                cloud.terminate(vm)
+
+    def __repr__(self):
+        return (f"<FairShareScheduler queued={self.queue.depth()} "
+                f"active={len(self.leases.active_leases())} "
+                f"done={self.jobs_completed}>")

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 from .autonomic.engine import AdaptationEngine, AdaptationReport
 from .autonomic.monitor import TriggerBus
+from .controlplane.plane import ControlPlane
 from .patterns.capture import HypervisorSniffer
 from .patterns.matrix import TrafficMatrix
 from .simkernel import Process
@@ -62,6 +63,7 @@ class DynamicInfrastructure:
                                        min_improvement=min_improvement)
         self.bus = TriggerBus()
         self._daemons: Dict[str, DaemonState] = {}
+        self._control_plane: Optional[ControlPlane] = None
 
     # -- provisioning (delegates to the federation) ----------------------
 
@@ -70,6 +72,21 @@ class DynamicInfrastructure:
         :meth:`Federation.create_virtual_cluster`)."""
         return self.federation.create_virtual_cluster(
             self.testbed.image_name, n, **kwargs)
+
+    # -- multi-tenant control plane ---------------------------------------
+
+    def control_plane(self, **kwargs) -> ControlPlane:
+        """The infrastructure's job-submission layer (created and
+        started on first access; see
+        :class:`repro.controlplane.ControlPlane` for the knobs)."""
+        if self._control_plane is None:
+            self._control_plane = ControlPlane(
+                self.sim, self.federation, self.testbed.image_name,
+                **kwargs).start()
+        elif kwargs:
+            raise ValueError("control plane already created; "
+                             "configuration can no longer change")
+        return self._control_plane
 
     # -- autonomic adaptation --------------------------------------------
 

@@ -141,12 +141,34 @@ class MetricsRecorder:
         """Plain-dict export (for JSON dumps or plotting)."""
         return {name: list(ts.samples) for name, ts in self._series.items()}
 
+    def to_dict(self) -> Dict[str, Dict[str, List[float]]]:
+        """Structured, JSON-ready export: every series as parallel
+        ``{"times": [...], "values": [...]}`` arrays — the uniform
+        shape ``BENCH_*.json`` trajectory files use."""
+        return {
+            name: {"times": ts.times(), "values": ts.values()}
+            for name, ts in sorted(self._series.items())
+        }
+
     def to_csv(self, name: str) -> str:
         """One series as ``time,value`` CSV text."""
         ts = self.series(name)
         lines = ["time,value"]
         lines += [f"{t},{v}" for t, v in ts.samples]
         return "\n".join(lines) + "\n"
+
+    def dump_csv(self, path, names: Optional[List[str]] = None) -> int:
+        """Write series (default: all) to ``path`` as long-format
+        ``series,time,value`` CSV; returns the number of rows written."""
+        selected = names if names is not None else self.names()
+        rows = 0
+        with open(path, "w") as fh:
+            fh.write("series,time,value\n")
+            for name in selected:
+                for t, v in self.series(name).samples:
+                    fh.write(f"{name},{t},{v}\n")
+                    rows += 1
+        return rows
 
 
 # -- ready-made samplers -------------------------------------------------
