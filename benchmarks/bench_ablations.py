@@ -21,7 +21,6 @@ Five sweeps quantify the design knobs the experiments depend on:
 """
 
 import numpy as np
-import pytest
 
 from repro.hypervisor import Dirtier, LiveMigrator, MigrationConfig, \
     VirtualMachine
@@ -264,7 +263,6 @@ def test_a6_wan_congestion_during_migration(benchmark):
             def congestion(sim):
                 yield sim.timeout(0.5)
                 tb.topology.set_bandwidth("src", "dst", collapse_to)
-                tb.scheduler.rebalance()
             tb.sim.process(congestion(tb.sim))
         factory = (shrinker_codec_factory(RegistryDirectory())
                    if use_shrinker else None)

@@ -17,7 +17,6 @@ and the one-time migration traffic the adaptation itself spends
 """
 
 import numpy as np
-import pytest
 
 from repro.autonomic import (
     AdaptationEngine,
@@ -26,7 +25,7 @@ from repro.autonomic import (
     random_assignment,
     round_robin_assignment,
 )
-from repro.patterns import HypervisorSniffer, TrafficMatrix
+from repro.patterns import HypervisorSniffer
 from repro.testbeds import SiteSpec, sky_testbed
 from repro.workloads import run_pattern
 

@@ -24,7 +24,6 @@ import time
 from pathlib import Path
 
 import numpy as np
-import pytest
 
 from repro.controlplane import ControlPlane, FailureInjector, SchedulerConfig
 from repro.testbeds import SiteSpec, sky_testbed

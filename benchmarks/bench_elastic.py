@@ -12,9 +12,7 @@ but the job still completes correctly.
 """
 
 import numpy as np
-import pytest
 
-from repro.hypervisor import MemoryImage, VirtualMachine
 from repro.mapreduce import JobTracker
 from repro.testbeds import two_cloud_testbed
 from repro.workloads import blast_job

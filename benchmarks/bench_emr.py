@@ -20,7 +20,6 @@ misses, at a cost between the two static configurations.
 """
 
 import numpy as np
-import pytest
 
 from repro.emr import DeadlineScalePolicy, ElasticMapReduceService, \
     StaticPolicy

@@ -19,7 +19,6 @@ checkpointing paying a steady WAN tax that migration does not.
 """
 
 import numpy as np
-import pytest
 
 from repro.cloud import SpotMarket, SpotState
 from repro.sky import CheckpointingSpotManager, MigratableSpotManager

@@ -17,8 +17,6 @@ Also sweeps federation size: reconfiguration latency is bounded by the
 farthest router's control latency.
 """
 
-import numpy as np
-import pytest
 
 from repro.hypervisor import (
     LiveMigrator,

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..hypervisor.vm import VirtualMachine
 from ..network.flows import FlowScheduler
+from ..network.transport import Transport
 from ..simkernel import Process, Simulator
 
 #: Bytes of the context exchange (template + roster + keys).
@@ -46,7 +47,8 @@ class ContextBroker:
     def __init__(self, sim: Simulator, scheduler: FlowScheduler,
                  site: str, role_script_time: float = 2.0):
         self.sim = sim
-        self.scheduler = scheduler
+        self.transport = Transport.of(scheduler)
+        self.scheduler = self.transport.scheduler
         #: Site hosting the broker service.
         self.site = site
         #: Time each VM spends executing its role scripts.
@@ -88,12 +90,12 @@ class ContextBroker:
 
     def _join(self, vm: VirtualMachine):
         # Report in, then receive roster + credentials.
-        up = self.scheduler.start_flow(
+        up = self.transport.control(
             vm.site, self.site, CONTEXT_MESSAGE_BYTES,
             tag="context", src_vm=vm.name,
         )
         yield up.done
-        down = self.scheduler.start_flow(
+        down = self.transport.control(
             self.site, vm.site, CONTEXT_MESSAGE_BYTES,
             tag="context", dst_vm=vm.name,
         )

@@ -23,11 +23,12 @@ which bases are already present.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Set
 
 from ..hypervisor.host import PhysicalHost
 from ..network.flows import FlowScheduler
+from ..network.transport import Transport
 from ..simkernel import Process, Simulator
 from .images import VMImage
 
@@ -75,7 +76,8 @@ class _PropagationBase:
                  cache: HostImageCache,
                  repo_uplink: float = 125e6):
         self.sim = sim
-        self.scheduler = scheduler
+        self.transport = Transport.of(scheduler)
+        self.scheduler = self.transport.scheduler
         self.cache = cache
         #: The repository node's NIC (bytes/s): the unicast bottleneck.
         self.repo_uplink = repo_uplink
@@ -117,7 +119,7 @@ class UnicastPropagation(_PropagationBase):
             # uplink; each is additionally a LAN flow.
             per_host_cap = self.repo_uplink / len(misses)
             flows = [
-                self.scheduler.start_flow(
+                self.transport.propagation(
                     site, site, image.size_bytes,
                     rate_cap=per_host_cap, tag="image-unicast",
                     image=image.name, host=h.name,
@@ -158,7 +160,7 @@ class BroadcastChainPropagation(_PropagationBase):
             # hosts in (almost) the time of a single transfer.
             setup = self.hop_setup * len(misses)
             yield self.sim.timeout(setup)
-            flow = self.scheduler.start_flow(
+            flow = self.transport.propagation(
                 site, site, image.size_bytes,
                 rate_cap=self.repo_uplink, tag="image-chain",
                 image=image.name, chain_length=len(misses),

@@ -18,6 +18,7 @@ from ..hypervisor.host import PhysicalHost
 from ..hypervisor.memory import MemoryImage
 from ..hypervisor.vm import VirtualMachine
 from ..network.flows import FlowScheduler
+from ..network.transport import Transport
 from ..network.nat import AddressPool
 from ..network.topology import Site
 from ..simkernel import Process, Simulator
@@ -81,20 +82,23 @@ class Cloud:
                     f"host {h.name!r} is at {h.site!r}, not {site.name!r}"
                 )
         self.sim = sim
-        self.scheduler = scheduler
+        self.transport = Transport.of(scheduler)
+        self.scheduler = self.transport.scheduler
         self.site = site
         self.hosts = list(hosts)
+        #: Host names excluded from new placements (draining/cordoned).
+        self.unschedulable: set = set()
         self.cache = HostImageCache()
         self.repository = ImageRepository(site.name)
         self.propagation = propagation or CowPropagation(
-            sim, scheduler, self.cache
+            sim, self.transport, self.cache
         )
         self.pricing = pricing or InstancePricing()
         self.meter = UsageMeter(self.pricing)
         self.quota = quota
         self.boot_delay = boot_delay
         self.address_pool = AddressPool(site.name)
-        self.context_broker = ContextBroker(sim, scheduler, site.name)
+        self.context_broker = ContextBroker(sim, self.transport, site.name)
         self.instances: List[VirtualMachine] = []
         #: Clouds whose hypervisors may open migration channels here
         #: (credential exchange established out of band; the federation
@@ -110,6 +114,22 @@ class Cloud:
         """Stop accepting inbound migrations from ``peer_name``."""
         self.trusted_peers.discard(peer_name)
 
+    def cordon(self, host_name: str) -> None:
+        """Exclude a host from new placements (it keeps running what it
+        already hosts); used while the health monitor drains it."""
+        if host_name not in {h.name for h in self.hosts}:
+            raise CloudError(f"{self.name!r} has no host {host_name!r}")
+        self.unschedulable.add(host_name)
+
+    def uncordon(self, host_name: str) -> None:
+        """Make a host eligible for new placements again."""
+        self.unschedulable.discard(host_name)
+
+    def _schedulable_hosts(self) -> List[PhysicalHost]:
+        if not self.unschedulable:
+            return self.hosts
+        return [h for h in self.hosts if h.name not in self.unschedulable]
+
     # -- queries ----------------------------------------------------------
 
     @property
@@ -121,7 +141,7 @@ class Cloud:
         pages = spec.memory_pages or 65536
         ram = pages * 4096
         total = 0
-        for h in self.hosts:
+        for h in self._schedulable_hosts():
             total += min(h.free_cores // spec.vcpus,
                          int(h.free_ram // ram)) if spec.vcpus else 0
         if self.quota is not None:
@@ -157,13 +177,14 @@ class Cloud:
                     pages: int) -> List[PhysicalHost]:
         """First-fit-decreasing placement over current headroom."""
         ram = pages * 4096
+        candidates = self._schedulable_hosts()
         chosen: List[PhysicalHost] = []
         headroom = {
-            h.name: [h.free_cores, h.free_ram] for h in self.hosts
+            h.name: [h.free_cores, h.free_ram] for h in candidates
         }
         for _ in range(count):
             placed = False
-            for h in sorted(self.hosts,
+            for h in sorted(candidates,
                             key=lambda h: headroom[h.name][0], reverse=True):
                 cores, free_ram = headroom[h.name]
                 if cores >= spec.vcpus and free_ram >= ram:

@@ -16,7 +16,7 @@ which needs the federation and the Shrinker migrator — lives in
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, List, Optional
 

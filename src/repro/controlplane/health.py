@@ -152,9 +152,19 @@ class HealthMonitor:
 
     def drain_host(self, host: PhysicalHost) -> Process:
         """Evacuate all leased VMs from ``host`` via Shrinker live
-        migration to another member cloud; yields the count moved."""
+        migration to another member cloud; yields the count moved.
+
+        The host is also cordoned in its cloud, so placement (new
+        grants, capacity headroom) excludes it until
+        :meth:`undrain_host`."""
         self.draining.add(host.name)
+        self.federation.cloud_at(host.site).cordon(host.name)
         return self.sim.process(self._drain(host), name=f"drain-{host.name}")
+
+    def undrain_host(self, host: PhysicalHost) -> None:
+        """Return a drained host to placement service."""
+        self.draining.discard(host.name)
+        self.federation.cloud_at(host.site).uncordon(host.name)
 
     def _drain(self, host: PhysicalHost):
         moved = 0

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
-from ..cloud.provider import InstanceSpec
 from ..metrics import MetricsRecorder
 from ..simkernel import Event, Simulator
 from ..sky.federation import Federation

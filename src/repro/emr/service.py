@@ -25,7 +25,7 @@ from ..mapreduce.engine import JobTracker
 from ..mapreduce.job import JobResult, MapReduceJob
 from ..simkernel import Process
 from ..sky.federation import Federation
-from ..sky.scheduler import CheapestFirst, PlacementPolicy
+from ..sky.scheduler import PlacementPolicy
 from ..sky.virtual_cluster import VirtualCluster
 from .policies import DeadlineScalePolicy, StaticPolicy
 

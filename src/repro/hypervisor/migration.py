@@ -30,6 +30,7 @@ from typing import List, Optional, Protocol
 import numpy as np
 
 from ..network.flows import FlowScheduler
+from ..network.transport import Transport
 from ..simkernel import Process, Simulator
 from .host import PhysicalHost
 from .vm import VirtualMachine, VMState
@@ -140,7 +141,8 @@ class LiveMigrator:
     def __init__(self, sim: Simulator, scheduler: FlowScheduler,
                  codec_factory=None):
         self.sim = sim
-        self.scheduler = scheduler
+        self.transport = Transport.of(scheduler)
+        self.scheduler = self.transport.scheduler
         #: ``codec_factory(vm, dst_site) -> PageCodec``; defaults to raw.
         self.codec_factory = codec_factory or (
             lambda vm, dst_site: RawCodec(vm.memory.page_size)
@@ -183,9 +185,9 @@ class LiveMigrator:
             feed_rate = wire_bytes * processing / payload_bytes
             rate_cap = feed_rate if rate_cap is None else min(rate_cap,
                                                               feed_rate)
-        return self.scheduler.start_flow(
+        return self.transport.migration(
             src, dst, wire_bytes, rate_cap=rate_cap,
-            tag="migration", vm=vm.name, phase=phase,
+            vm=vm.name, phase=phase,
         ).done
 
     def _migrate(self, vm: VirtualMachine, dst_host: PhysicalHost,

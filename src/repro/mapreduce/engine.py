@@ -31,6 +31,7 @@ import numpy as np
 
 from ..hypervisor.vm import VirtualMachine
 from ..network.flows import FlowScheduler
+from ..network.transport import Transport
 from ..simkernel import Event, Interrupt, Process, Resource, Simulator
 from .hdfs import BlockStore
 from .job import JobResult, MapReduceJob, Task, TaskKind, TaskState
@@ -159,7 +160,7 @@ class TaskTracker:
                 run.result.input_fetch_bytes += job.split_bytes
                 self.jt._record_traffic(src.name, self.vm.name,
                                         job.split_bytes, "mr-input")
-                flow = self.jt.scheduler.start_flow(
+                flow = self.jt.transport.shuffle(
                     src.site, self.vm.site, job.split_bytes,
                     tag="mr-input", src_vm=src.name, dst_vm=self.vm.name,
                 )
@@ -184,7 +185,7 @@ class TaskTracker:
             run.result.shuffle_bytes += nbytes
             self.jt._record_traffic(src_name, self.vm.name, nbytes,
                                     "mr-shuffle")
-            flow = self.jt.scheduler.start_flow(
+            flow = self.jt.transport.shuffle(
                 src_site, self.vm.site, nbytes,
                 tag="mr-shuffle", src_vm=src_name, dst_vm=self.vm.name,
             )
@@ -215,7 +216,8 @@ class JobTracker:
         self.speculative_slowdown = speculative_slowdown
         self.speculative_min_samples = speculative_min_samples
         self.sim = sim
-        self.scheduler = scheduler
+        self.transport = Transport.of(scheduler)
+        self.scheduler = self.transport.scheduler
         self.hdfs = hdfs or BlockStore()
         self.rng = rng or np.random.default_rng(0)
         self.trackers: Dict[str, TaskTracker] = {}

@@ -8,7 +8,7 @@ remote one drags its split across the network, possibly across clouds).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 

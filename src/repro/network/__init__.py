@@ -9,7 +9,14 @@ why live migration cannot cross LAN boundaries.
 """
 
 from .billing import BillingMeter
-from .flows import EPSILON, Flow, FlowCancelled, FlowRecord, FlowScheduler
+from .flows import (
+    EPSILON,
+    Flow,
+    FlowCancelled,
+    FlowRecord,
+    FlowScheduler,
+    SharedCap,
+)
 from .nat import (
     Address,
     AddressPool,
@@ -22,6 +29,12 @@ from .nat import (
 from .packets import record_packets, segments, wire_bytes
 from .tcp import Connection, ConnectionBroken, ConnectionState
 from .topology import DirectedLink, NetworkError, NoRoute, Site, Topology
+from .transport import (
+    ClassPolicy,
+    Transport,
+    TransferClass,
+    TransferRecord,
+)
 from .units import (
     GB,
     GB_DECIMAL,
@@ -40,6 +53,7 @@ __all__ = [
     "Address",
     "AddressPool",
     "BillingMeter",
+    "ClassPolicy",
     "Connection",
     "ConnectionBroken",
     "ConnectionState",
@@ -64,8 +78,12 @@ __all__ = [
     "PlainIPResolver",
     "Resolver",
     "Route",
+    "SharedCap",
     "Site",
     "Topology",
+    "Transport",
+    "TransferClass",
+    "TransferRecord",
     "gbit_per_s",
     "mbit_per_s",
     "record_packets",

@@ -4,23 +4,44 @@ This is the fluid traffic model standing in for the paper's real WAN and
 LAN links.  Every bulk transfer (a migration round, a MapReduce shuffle,
 an image propagation hop) is a :class:`Flow` routed over the
 :class:`~repro.network.topology.Topology`.  Whenever a flow starts or
-finishes, the scheduler recomputes the **max-min fair** allocation over
-every directed link via progressive filling — the textbook model of how
-competing TCP streams share bottlenecks — and reschedules each flow's
-completion accordingly.
+finishes, the scheduler recomputes the **max-min fair** allocation via
+progressive filling — the textbook model of how competing TCP streams
+share bottlenecks — and reschedules each flow's completion accordingly.
 
-Per-flow rate caps (e.g. a VM NIC, or a deliberately throttled migration)
-are modeled as virtual single-flow links, which integrates them exactly
-into the water-filling computation.
+The scheduler runs in one of two modes:
+
+``mode="incremental"`` (default)
+    On every arrival / departure / cancellation / capacity change, only
+    the **bottleneck-connected component** of affected flows (flows
+    sharing a link with the changed flow, transitively) is settled and
+    re-rated.  This is exact, not an approximation: flows outside the
+    component share no link with it, so their water-filling levels are
+    untouched by the change.  Same-timestamp changes are coalesced into
+    one batched recompute scheduled at URGENT priority (it runs before
+    any same-time NORMAL event, so no observer sees a stale allocation),
+    and completion timers are left alone when a flow's rate is unchanged
+    within :data:`EPSILON` — the armed deadline is already exact.
+
+``mode="full"``
+    The reference implementation: settle every active flow, re-run
+    progressive filling over the whole network, re-arm every timer.
+    Kept selectable for differential testing and benchmarking.
+
+Per-flow rate caps (e.g. a VM NIC, or a deliberately throttled
+migration) are modeled as virtual single-flow links, which integrates
+them exactly into the water-filling computation.  Aggregate per-class
+ceilings (:class:`SharedCap`) are virtual *shared* links crossing every
+flow of a class.  Flows may carry a ``weight`` (default 1.0); rates are
+assigned proportionally to weight at each fill level (weighted max-min).
 """
 
 from __future__ import annotations
 
 import itertools
 import math
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
 
-from ..simkernel import Event, Simulator
+from ..simkernel import Event, Simulator, URGENT
 from .billing import BillingMeter
 from .topology import DirectedLink, NetworkError, Topology
 
@@ -30,6 +51,28 @@ EPSILON = 1e-9
 
 class FlowCancelled(NetworkError):
     """Raised into waiters when a flow is cancelled mid-transfer."""
+
+
+class SharedCap:
+    """A virtual shared link capping the *aggregate* rate of every flow
+    attached to it (e.g. all transfers of one Transport class).
+
+    Participates in progressive filling exactly like a physical link, so
+    class-level ceilings compose correctly with real bottlenecks.  Note
+    that flows sharing a :class:`SharedCap` form one bottleneck-connected
+    component even when their paths are disjoint.
+    """
+
+    __slots__ = ("name", "bandwidth")
+
+    def __init__(self, name: str, bandwidth: float):
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        self.name = name
+        self.bandwidth = float(bandwidth)
+
+    def __repr__(self):
+        return f"<SharedCap {self.name} {self.bandwidth:.3g} B/s>"
 
 
 class Flow:
@@ -44,19 +87,23 @@ class Flow:
     rate:
         Current max-min fair rate (bytes/second), updated by the
         scheduler as competing flows come and go.
+    weight:
+        Relative share at contended links (weighted max-min); 1.0 for
+        plain fair sharing.
     """
 
     _ids = itertools.count()
 
     __slots__ = (
         "id", "src", "dst", "size", "remaining", "rate", "path", "done",
-        "started_at", "finished_at", "rate_cap", "tag", "meta",
-        "_last_settled", "_epoch", "_timer",
+        "started_at", "finished_at", "rate_cap", "tag", "meta", "weight",
+        "shared_caps", "_last_settled", "_epoch", "_timer", "_armed_rate",
     )
 
     def __init__(self, sim: Simulator, src: str, dst: str, size: float,
                  path: List[DirectedLink], rate_cap: Optional[float],
-                 tag: str, meta: dict):
+                 tag: str, meta: dict, weight: float = 1.0,
+                 shared_caps: Sequence[SharedCap] = ()):
         self.id = next(Flow._ids)
         self.src = src
         self.dst = dst
@@ -70,9 +117,12 @@ class Flow:
         self.rate_cap = rate_cap
         self.tag = tag
         self.meta = meta
+        self.weight = weight
+        self.shared_caps = tuple(shared_caps)
         self._last_settled = sim.now
         self._epoch = 0
         self._timer = None
+        self._armed_rate = -1.0  # rate the live timer was armed with
 
     @property
     def transferred(self) -> float:
@@ -107,27 +157,53 @@ class FlowRecord:
         return f"<FlowRecord {self.src}->{self.dst} {self.size:.3g}B {self.tag}>"
 
 
+def _flow_id(flow: Flow) -> int:
+    return flow.id
+
+
 class FlowScheduler:
     """Runs all flows over a topology with max-min fair sharing.
 
     Parameters
     ----------
     sim, topology:
-        The simulation kernel and network graph.
+        The simulation kernel and network graph.  The scheduler attaches
+        itself to the topology, so :meth:`Topology.set_bandwidth` takes
+        effect without a manual :meth:`rebalance`.
     billing:
         Optional :class:`BillingMeter`; inter-site bytes are accounted
         progressively, so cancelled flows are billed for what they
         actually moved.
+    mode:
+        ``"incremental"`` (default) re-rates only the bottleneck-connected
+        component touched by each change; ``"full"`` is the reference
+        allocator that recomputes the whole network on every event.
     """
 
     def __init__(self, sim: Simulator, topology: Topology,
-                 billing: Optional[BillingMeter] = None):
+                 billing: Optional[BillingMeter] = None,
+                 mode: str = "incremental"):
+        if mode not in ("incremental", "full"):
+            raise ValueError(f"unknown scheduler mode {mode!r}")
         self.sim = sim
         self.topology = topology
         self.billing = billing
+        self.mode = mode
+        self._incremental = mode == "incremental"
         self._active: Set[Flow] = set()
         #: Callbacks invoked with a :class:`FlowRecord` on flow completion.
         self.taps: List[Callable[[FlowRecord], None]] = []
+        # Incremental-mode state: persistent link -> active flows index,
+        # plus the dirty sets feeding the next batched recompute.
+        self._link_flows: Dict[object, Set[Flow]] = {}
+        self._dirty_flows: Set[Flow] = set()
+        self._dirty_links: Set[object] = set()
+        self._batch_pending = False
+        #: Allocator counters (batches run, flows re-rated, timers
+        #: armed/skipped) — read by benchmarks, never reset.
+        self.stats = {"batches": 0, "flows_rerated": 0,
+                      "timers_armed": 0, "timers_skipped": 0}
+        topology.attach(self)
 
     # -- public API ----------------------------------------------------------
 
@@ -138,6 +214,8 @@ class FlowScheduler:
 
     def start_flow(self, src: str, dst: str, size: float,
                    rate_cap: Optional[float] = None, tag: str = "data",
+                   weight: float = 1.0,
+                   shared_caps: Sequence[SharedCap] = (),
                    **meta) -> Flow:
         """Begin transferring ``size`` bytes from site ``src`` to ``dst``.
 
@@ -146,14 +224,21 @@ class FlowScheduler:
         """
         if size < 0:
             raise ValueError(f"negative flow size {size}")
+        if weight <= 0:
+            raise ValueError(f"flow weight must be positive, got {weight}")
         path = self.topology.path(src, dst)
-        flow = Flow(self.sim, src, dst, size, path, rate_cap, tag, meta)
+        flow = Flow(self.sim, src, dst, size, path, rate_cap, tag, meta,
+                    weight, shared_caps)
         latency = sum(l.latency for l in path)
         if size == 0:
             self._finish_after_latency(flow, latency)
             return flow
         self._active.add(flow)
-        self._recompute()
+        if self._incremental:
+            self._index(flow)
+            self._mark_dirty(flows=(flow,))
+        else:
+            self._recompute()
         return flow
 
     def transfer(self, src: str, dst: str, size: float, **kwargs) -> Event:
@@ -161,19 +246,33 @@ class FlowScheduler:
         return self.start_flow(src, dst, size, **kwargs).done
 
     def rebalance(self) -> None:
-        """Re-run the fair-share allocation now.
+        """Re-run the fair-share allocation over *all* flows now.
 
-        Call after changing link capacities at runtime
-        (:meth:`Topology.set_bandwidth`); flow arrivals and departures
-        trigger this automatically.
+        Kept as an escape hatch; arrivals, departures and
+        :meth:`Topology.set_bandwidth` all trigger reallocation
+        automatically.
         """
         self._recompute()
+
+    def links_changed(self, links: Iterable[object]) -> None:
+        """Topology notification: the capacity of ``links`` changed."""
+        if self._incremental:
+            affected = [l for l in links if l in self._link_flows]
+            if affected:
+                self._mark_dirty(links=affected)
+        else:
+            self._recompute()
 
     def cancel(self, flow: Flow) -> None:
         """Abort an in-flight flow; its waiters see :class:`FlowCancelled`."""
         if flow not in self._active:
             return
-        self._settle_all()
+        if self._incremental:
+            # Bill the cancelled flow up to this instant; its neighbours
+            # keep their (still valid) rates until the batched recompute.
+            self._settle((flow,))
+        else:
+            self._settle(self._active)
         self._active.discard(flow)
         flow._epoch += 1
         if flow._timer is not None:
@@ -181,14 +280,95 @@ class FlowScheduler:
             flow._timer = None
         flow.done.fail(FlowCancelled(f"{flow!r} cancelled"))
         flow.done.defused = True  # cancellation is never a crash
-        self._recompute()
+        if self._incremental:
+            self._unindex(flow)
+            self._mark_dirty(links=self._alloc_links(flow))
+        else:
+            self._recompute()
+
+    # -- incremental machinery ----------------------------------------------
+
+    def _alloc_links(self, flow: Flow):
+        """Shared allocation constraints of ``flow``: its path links plus
+        any aggregate class caps (per-flow rate caps never connect flows
+        and are handled inside the water-filling pass)."""
+        if flow.shared_caps:
+            return list(flow.path) + list(flow.shared_caps)
+        return flow.path
+
+    def _index(self, flow: Flow) -> None:
+        for link in self._alloc_links(flow):
+            self._link_flows.setdefault(link, set()).add(flow)
+
+    def _unindex(self, flow: Flow) -> None:
+        for link in self._alloc_links(flow):
+            flows = self._link_flows.get(link)
+            if flows is not None:
+                flows.discard(flow)
+                if not flows:
+                    del self._link_flows[link]
+
+    def _mark_dirty(self, flows: Iterable[Flow] = (),
+                    links: Iterable[object] = ()) -> None:
+        """Queue flows/links for the next batched recompute, scheduling
+        one URGENT-priority pass at the current timestamp if none is
+        pending yet (coalescing all same-time changes)."""
+        self._dirty_flows.update(flows)
+        self._dirty_links.update(links)
+        if self._batch_pending:
+            return
+        self._batch_pending = True
+        batch = self.sim.event()
+        batch._ok = True
+        batch._value = None
+        batch.callbacks.append(self._run_batch)
+        self.sim.schedule(batch, priority=URGENT)
+
+    def _run_batch(self, _ev) -> None:
+        self._batch_pending = False
+        flows, links = self._dirty_flows, self._dirty_links
+        self._dirty_flows, self._dirty_links = set(), set()
+        component = self._component(flows, links)
+        if not component:
+            return
+        self.stats["batches"] += 1
+        self.stats["flows_rerated"] += len(component)
+        self._settle(component)
+        self._maxmin_rates(component)
+        for flow in sorted(component, key=_flow_id):
+            self._schedule_completion(flow)
+
+    def _component(self, flows: Iterable[Flow] = (),
+                   links: Iterable[object] = ()) -> Set[Flow]:
+        """Active flows transitively sharing a link with the seeds.
+
+        Restricting water-filling to this set is exact: by construction
+        every link touched by the component carries no flow outside it.
+        """
+        stack = [f for f in flows if f in self._active]
+        seen_links: Set[object] = set()
+        for link in links:
+            if link not in seen_links:
+                seen_links.add(link)
+                stack.extend(self._link_flows.get(link, ()))
+        component: Set[Flow] = set()
+        while stack:
+            flow = stack.pop()
+            if flow in component:
+                continue
+            component.add(flow)
+            for link in self._alloc_links(flow):
+                if link not in seen_links:
+                    seen_links.add(link)
+                    stack.extend(self._link_flows[link])
+        return component
 
     # -- internals --------------------------------------------------------
 
-    def _settle_all(self) -> None:
-        """Advance every flow's byte counter to the current instant."""
+    def _settle(self, flows: Iterable[Flow]) -> None:
+        """Advance the given flows' byte counters to the current instant."""
         now = self.sim.now
-        for flow in self._active:
+        for flow in flows:
             dt = now - flow._last_settled
             if dt > 0 and flow.rate > 0:
                 moved = min(flow.remaining, flow.rate * dt)
@@ -199,51 +379,61 @@ class FlowScheduler:
 
     def _recompute(self) -> None:
         """Settle, re-run max-min fair allocation, reschedule completions."""
-        self._settle_all()
-        self._maxmin_rates()
-        for flow in self._active:
+        self._settle(self._active)
+        self._maxmin_rates(self._active)
+        for flow in sorted(self._active, key=_flow_id):
             self._schedule_completion(flow)
 
-    def _maxmin_rates(self) -> None:
-        """Progressive-filling max-min fair allocation.
+    def _maxmin_rates(self, flows: Iterable[Flow]) -> None:
+        """Weighted progressive-filling max-min fair allocation over
+        ``flows`` (the whole network in full mode, one bottleneck
+        component in incremental mode).
 
-        All unfrozen flows' rates rise uniformly; when a link saturates,
-        the flows crossing it freeze at the current fill level.  A
-        per-flow rate cap is a virtual link carrying only that flow.
+        All unfrozen flows' rates rise proportionally to their weights;
+        when a link saturates, the flows crossing it freeze at the
+        current fill level.  A per-flow rate cap is a virtual link
+        carrying only that flow; a :class:`SharedCap` is a virtual link
+        carrying every flow attached to it.
         """
-        if not self._active:
+        order = sorted(flows, key=_flow_id)
+        if not order:
             return
         # Map each (shared or virtual) link to the flows crossing it.
         link_flows: Dict[object, Set[Flow]] = {}
         residual: Dict[object, float] = {}
-        for flow in self._active:
-            for link in flow.path:
-                link_flows.setdefault(link, set()).add(flow)
-                residual[link] = link.bandwidth
+        wsum: Dict[object, float] = {}
+        for flow in order:
+            for link in self._alloc_links(flow):
+                crossing = link_flows.get(link)
+                if crossing is None:
+                    crossing = link_flows[link] = set()
+                    residual[link] = link.bandwidth
+                    wsum[link] = 0.0
+                crossing.add(flow)
+                wsum[link] += flow.weight
             if flow.rate_cap is not None:
                 cap_key = ("cap", flow.id)
                 link_flows[cap_key] = {flow}
                 residual[cap_key] = flow.rate_cap
+                wsum[cap_key] = flow.weight
 
-        unassigned = set(self._active)
+        unassigned = set(order)
         fill = 0.0
         while unassigned:
-            # Next saturation point: smallest residual/flow-count over
+            # Next saturation point: smallest residual/weight-sum over
             # links still carrying unfrozen flows.
             delta = math.inf
-            for link, flows in link_flows.items():
-                n = len(flows)
-                if n:
-                    delta = min(delta, residual[link] / n)
+            for link, crossing in link_flows.items():
+                if crossing:
+                    delta = min(delta, residual[link] / wsum[link])
             if not math.isfinite(delta):  # pragma: no cover - defensive
                 break
             fill += delta
             saturated = []
-            for link, flows in link_flows.items():
-                n = len(flows)
-                if n:
-                    residual[link] -= delta * n
-                    if residual[link] <= EPSILON * max(1.0, link_flows_cap(link)):
+            for link, crossing in link_flows.items():
+                if crossing:
+                    residual[link] -= delta * wsum[link]
+                    if residual[link] <= EPSILON * max(1.0, _link_scale(link)):
                         saturated.append(link)
             frozen: Set[Flow] = set()
             for link in saturated:
@@ -251,15 +441,31 @@ class FlowScheduler:
             if not frozen:  # pragma: no cover - numerical safety
                 frozen = set(unassigned)
             for flow in frozen:
-                flow.rate = fill
+                flow.rate = fill * flow.weight
                 unassigned.discard(flow)
-                for link in flow.path:
+                for link in self._alloc_links(flow):
                     link_flows[link].discard(flow)
+                    wsum[link] -= flow.weight
                 if flow.rate_cap is not None:
-                    link_flows[("cap", flow.id)].discard(flow)
+                    cap_key = ("cap", flow.id)
+                    link_flows[cap_key].discard(flow)
+                    wsum[cap_key] -= flow.weight
 
     def _schedule_completion(self, flow: Flow) -> None:
-        """(Re)arm the completion timer for ``flow`` at its current rate."""
+        """(Re)arm the completion timer for ``flow`` at its current rate.
+
+        Incremental mode skips re-arming when the rate is unchanged
+        within EPSILON: the deadline the live timer already carries is
+        ``armed_time + remaining_at_arm/rate == now + remaining_now/rate``
+        for an unchanged rate, so descheduling and re-arming would be
+        pure heap churn (any sub-EPSILON drift is absorbed by the
+        re-check in :meth:`_maybe_complete`).
+        """
+        if (self._incremental and flow._timer is not None and flow.rate > 0
+                and abs(flow.rate - flow._armed_rate)
+                <= EPSILON * max(1.0, flow.rate)):
+            self.stats["timers_skipped"] += 1
+            return
         flow._epoch += 1
         epoch = flow._epoch
         if flow._timer is not None:
@@ -271,21 +477,30 @@ class FlowScheduler:
         timer = self.sim.timeout(eta)
         timer.callbacks.append(lambda _ev: self._maybe_complete(flow, epoch))
         flow._timer = timer
+        flow._armed_rate = flow.rate
+        self.stats["timers_armed"] += 1
 
     def _maybe_complete(self, flow: Flow, epoch: int) -> None:
         if flow._epoch != epoch or flow not in self._active:
             return  # superseded by a later recompute or cancellation
-        self._settle_all()
+        flow._timer = None  # this timer has fired; never skip-reuse it
+        if self._incremental:
+            self._settle((flow,))
+        else:
+            self._settle(self._active)
         if flow.remaining > EPSILON * max(1.0, flow.size):
             # Numerical drift: rearm.
             self._schedule_completion(flow)
             return
         flow.remaining = 0.0
-        flow._timer = None
         self._active.discard(flow)
         latency = sum(l.latency for l in flow.path)
         self._finish_after_latency(flow, latency)
-        self._recompute()
+        if self._incremental:
+            self._unindex(flow)
+            self._mark_dirty(links=self._alloc_links(flow))
+        else:
+            self._recompute()
 
     def _finish_after_latency(self, flow: Flow, latency: float) -> None:
         def fire(_ev):
@@ -305,6 +520,6 @@ class FlowScheduler:
             stub.succeed()
 
 
-def link_flows_cap(link) -> float:
+def _link_scale(link) -> float:
     """Bandwidth of a real or virtual link (for epsilon scaling)."""
-    return link.bandwidth if isinstance(link, DirectedLink) else 1.0
+    return getattr(link, "bandwidth", 1.0)

@@ -11,7 +11,7 @@ overlay addresses instead.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Protocol, Tuple
+from typing import Dict, Optional, Protocol
 
 from .topology import Topology
 

@@ -25,6 +25,7 @@ from typing import Optional
 
 from ..simkernel import Process, Simulator
 from .flows import FlowScheduler
+from .transport import Transport
 from .nat import Endpoint, Resolver
 from .topology import NetworkError
 
@@ -63,7 +64,8 @@ class Connection:
                  rto_budget: float = 15.0, retry_interval: float = 0.2):
         self.id = next(Connection._ids)
         self.sim = sim
-        self.scheduler = scheduler
+        self.transport = Transport.of(scheduler)
+        self.scheduler = self.transport.scheduler
         self.resolver = resolver
         self.a = a
         self.b = b
@@ -147,7 +149,7 @@ class Connection:
                 self.max_stall = max(self.max_stall, self.sim.now - stall_started)
                 stall_started = None
             wire_bytes = nbytes * route.overhead_factor
-            flow = self.scheduler.start_flow(
+            flow = self.transport.data(
                 route.src_site, route.dst_site, wire_bytes, tag=tag,
                 rate_cap=route.rate_cap,
                 src_vm=src.name, dst_vm=dst.name, connection=self.id,

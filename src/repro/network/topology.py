@@ -108,6 +108,20 @@ class Topology:
         self._sites: Dict[str, Site] = {}
         self._lan_links: Dict[str, DirectedLink] = {}
         self._path_cache: Dict[Tuple[str, str], List[DirectedLink]] = {}
+        self._listeners: List = []
+
+    # -- change notification -------------------------------------------------
+
+    def attach(self, listener) -> None:
+        """Register an object whose ``links_changed(links)`` method is
+        called whenever link capacities change at runtime
+        (:class:`~repro.network.flows.FlowScheduler` attaches itself)."""
+        if not any(l is listener for l in self._listeners):
+            self._listeners.append(listener)
+
+    def detach(self, listener) -> None:
+        """Stop notifying ``listener`` of capacity changes."""
+        self._listeners = [l for l in self._listeners if l is not listener]
 
     # -- construction ------------------------------------------------------
 
@@ -148,17 +162,23 @@ class Topology:
     def set_bandwidth(self, a: str, b: str, bandwidth: float,
                       both_directions: bool = True) -> None:
         """Change a link's capacity at runtime (WAN congestion, QoS
-        re-provisioning).  In-flight flows keep their current rates
-        until the scheduler's next recompute — call
-        :meth:`FlowScheduler.rebalance` to apply immediately."""
+        re-provisioning).  Attached schedulers are notified, so
+        in-flight flows are re-rated without a manual
+        :meth:`FlowScheduler.rebalance`."""
         if bandwidth <= 0:
             raise ValueError(f"bandwidth must be positive, got {bandwidth}")
         try:
-            self._graph.edges[a, b]["link"].bandwidth = bandwidth
-            if both_directions:
-                self._graph.edges[b, a]["link"].bandwidth = bandwidth
+            fwd = self._graph.edges[a, b]["link"]
+            rev = self._graph.edges[b, a]["link"] if both_directions else None
         except KeyError:
             raise KeyError(f"no link between {a!r} and {b!r}") from None
+        fwd.bandwidth = bandwidth
+        changed = [fwd]
+        if rev is not None:
+            rev.bandwidth = bandwidth
+            changed.append(rev)
+        for listener in list(self._listeners):
+            listener.links_changed(changed)
 
     # -- queries -------------------------------------------------------------
 

@@ -23,22 +23,28 @@ from typing import Callable, Iterable, Optional, Set
 
 import numpy as np
 
-from ..network.flows import FlowRecord, FlowScheduler
 from ..network.packets import record_packets
+from ..network.transport import Transport, TransferRecord
 from .matrix import TrafficMatrix
 
 
 class HypervisorSniffer:
-    """Passive per-VM traffic observer built on flow-scheduler taps."""
+    """Passive per-VM traffic observer built on transport taps.
 
-    def __init__(self, scheduler: FlowScheduler,
+    Accepts a :class:`Transport` or a raw
+    :class:`~repro.network.flows.FlowScheduler` (normalized through
+    :meth:`Transport.of`), so it sees every transfer regardless of which
+    layer started it."""
+
+    def __init__(self, scheduler,
                  monitored_vms: Optional[Iterable[str]] = None,
                  sampling_rate: float = 1.0,
                  rng: Optional[np.random.Generator] = None,
                  tags: Optional[Set[str]] = None):
         if not 0 < sampling_rate <= 1:
             raise ValueError("sampling_rate must be in (0, 1]")
-        self.scheduler = scheduler
+        self.transport = Transport.of(scheduler)
+        self.scheduler = self.transport.scheduler
         #: VM names to observe (None = every VM-attributed flow).
         self.monitored: Optional[Set[str]] = (
             set(monitored_vms) if monitored_vms is not None else None
@@ -50,17 +56,17 @@ class HypervisorSniffer:
         self.matrix = TrafficMatrix()
         self.packets_seen = 0
         self.flows_seen = 0
-        self._tap: Callable[[FlowRecord], None] = self._observe
-        scheduler.taps.append(self._tap)
+        self._tap: Callable[[TransferRecord], None] = self._observe
+        self.transport.taps.append(self._tap)
 
     def detach(self) -> None:
         """Stop capturing."""
         try:
-            self.scheduler.taps.remove(self._tap)
+            self.transport.taps.remove(self._tap)
         except ValueError:
             pass
 
-    def _observe(self, record: FlowRecord) -> None:
+    def _observe(self, record: TransferRecord) -> None:
         src = record.meta.get("src_vm")
         dst = record.meta.get("dst_vm")
         if src is None or dst is None:

@@ -18,7 +18,7 @@ buffer, giving vectorized O((n+m) log m) batch membership tests via
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable
 
 import numpy as np
 

@@ -15,10 +15,9 @@ instance there and ships the state back in.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..cloud.provider import Cloud
 from ..cloud.spot import SpotInstance
 from ..hypervisor.vm import VirtualMachine, VMState
 from ..shrinker.codec import ShrinkerCodec
@@ -94,7 +93,7 @@ class CheckpointingSpotManager:
             wire = enc.wire_bytes
             if vm.disk is not None:
                 wire += vm.disk.materialized_bytes
-            flow = self.federation.scheduler.start_flow(
+            flow = self.federation.transport.migration(
                 vm.site, self.refuge.name, wire,
                 tag="checkpoint", vm=vm.name,
             )
@@ -140,7 +139,7 @@ class CheckpointingSpotManager:
         new_vm = vms[0]
         # Pull the snapshot from refuge storage onto the new host (a
         # local copy: the checkpoint already lives at this site).
-        flow = self.federation.scheduler.start_flow(
+        flow = self.federation.transport.migration(
             self.refuge.name, self.refuge.name,
             self._state_bytes(new_vm), tag="restore", vm=new_vm.name,
         )

@@ -19,6 +19,7 @@ from ..hypervisor.migration import LiveMigrator
 from ..hypervisor.vm import VirtualMachine
 from ..network.billing import BillingMeter
 from ..network.flows import FlowScheduler
+from ..network.transport import Transport
 from ..network.topology import Topology
 from ..shrinker.codec import shrinker_codec_factory
 from ..shrinker.coordinator import ClusterMigrationCoordinator
@@ -26,7 +27,7 @@ from ..shrinker.registry import RegistryDirectory
 from ..simkernel import Process, Simulator
 from ..vine.overlay import ViNeOverlay
 from ..vine.reconfig import MigrationReconfigurator
-from .scheduler import Balanced, PlacementError, PlacementPolicy
+from .scheduler import Balanced, PlacementPolicy
 from .virtual_cluster import VirtualCluster
 
 
@@ -47,7 +48,8 @@ class Federation:
             raise FederationError("a federation needs at least one cloud")
         self.sim = sim
         self.topology = topology
-        self.scheduler = scheduler
+        self.transport = Transport.of(scheduler)
+        self.scheduler = self.transport.scheduler
         self.clouds: Dict[str, Cloud] = {c.name: c for c in clouds}
         if len(self.clouds) != len(clouds):
             raise FederationError("cloud names must be unique")
@@ -125,7 +127,7 @@ class Federation:
         registry = self.registries.for_site(dst.name)
         codec = ShrinkerCodec(registry, image.disk.block_size)
         enc = codec.encode(image.disk.blocks())
-        flow = self.scheduler.start_flow(
+        flow = self.transport.propagation(
             src.name, dst.name, enc.wire_bytes,
             tag="image-replication", image=image.name,
         )

@@ -64,8 +64,8 @@ class SkyMigrationService:
 
     def pick_destination_host(self, vm: VirtualMachine,
                               dst_cloud: Cloud) -> PhysicalHost:
-        """First host with headroom for ``vm``."""
-        for host in dst_cloud.hosts:
+        """First schedulable host with headroom for ``vm``."""
+        for host in dst_cloud._schedulable_hosts():
             if host.fits(vm):
                 return host
         raise MigrationError(
@@ -102,7 +102,7 @@ class SkyMigrationService:
         # 1. Mutual authentication between the clouds' head nodes.
         for a, b in ((src_cloud.name, dst_cloud.name),
                      (dst_cloud.name, src_cloud.name)):
-            flow = fed.scheduler.start_flow(
+            flow = fed.transport.control(
                 a, b, AUTH_HANDSHAKE_BYTES, tag="auth",
                 vm=vm.name,
             )

@@ -7,7 +7,7 @@ for ``n`` instances onto the federation's clouds.
 
 from __future__ import annotations
 
-from typing import Dict, List, Protocol, Sequence
+from typing import Dict, Protocol, Sequence
 
 from ..cloud.provider import Cloud, InstanceSpec
 

@@ -18,7 +18,7 @@ The :class:`MigratableSpotManager` installs itself as a spot market's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..cloud.provider import Cloud

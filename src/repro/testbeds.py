@@ -11,14 +11,14 @@ everywhere.  Every experiment and example builds on this.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .cloud import Cloud, InstancePricing, make_image
 from .hypervisor import PhysicalHost
-from .network import BillingMeter, FlowScheduler, Site, Topology
+from .network import BillingMeter, FlowScheduler, Site, Topology, Transport
 from .network.units import Gbit, Mbit
 from .simkernel import Simulator
 from .sky import Federation
@@ -47,6 +47,7 @@ class Testbed:
     sim: Simulator
     topology: Topology
     scheduler: FlowScheduler
+    transport: Transport
     billing: BillingMeter
     clouds: Dict[str, Cloud]
     federation: Federation
@@ -104,6 +105,7 @@ def sky_testbed(sites: Optional[Sequence[SiteSpec]] = None,
     topology = Topology()
     billing = BillingMeter()
     scheduler = FlowScheduler(sim, topology, billing=billing)
+    transport = Transport.of(scheduler)
     rng = np.random.default_rng(seed)
 
     clouds: Dict[str, Cloud] = {}
@@ -146,9 +148,9 @@ def sky_testbed(sites: Optional[Sequence[SiteSpec]] = None,
                             list(clouds.values()),
                             use_shrinker=use_shrinker, billing=billing)
     return Testbed(
-        sim=sim, topology=topology, scheduler=scheduler, billing=billing,
-        clouds=clouds, federation=federation, image_name=image_name,
-        rng=rng,
+        sim=sim, topology=topology, scheduler=scheduler,
+        transport=transport, billing=billing, clouds=clouds,
+        federation=federation, image_name=image_name, rng=rng,
     )
 
 

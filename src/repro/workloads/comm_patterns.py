@@ -12,9 +12,9 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from ..network.flows import FlowScheduler
+from ..network.transport import Transport
 from ..simkernel import Process, Simulator
 
 #: (src index, dst index, bytes) triples for one round.
@@ -81,6 +81,7 @@ def run_pattern(sim: Simulator, scheduler: FlowScheduler, vms: Sequence,
     """
     if rounds <= 0:
         raise ValueError("rounds must be positive")
+    transport = Transport.of(scheduler)
 
     def _run():
         for _ in range(rounds):
@@ -89,7 +90,7 @@ def run_pattern(sim: Simulator, scheduler: FlowScheduler, vms: Sequence,
                 src, dst = vms[src_i], vms[dst_i]
                 if recorder is not None:
                     recorder(src.name, dst.name, nbytes, tag)
-                flow = scheduler.start_flow(
+                flow = transport.data(
                     src.site, dst.site, nbytes, tag=tag,
                     src_vm=src.name, dst_vm=dst.name,
                 )

@@ -6,9 +6,7 @@ import pytest
 from repro.cloud import (
     Cloud,
     CloudError,
-    ContextBroker,
     ImageError,
-    InstanceSpec,
     QuotaExceeded,
     make_image,
 )

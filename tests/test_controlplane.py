@@ -4,7 +4,7 @@ fair-share dispatch, elasticity, self-healing, determinism."""
 import numpy as np
 import pytest
 
-from repro.cloud import QuotaExceeded
+from repro.cloud import CloudError, InstanceSpec, QuotaExceeded
 from repro.controlplane import (
     AdmissionError,
     ControlPlane,
@@ -16,7 +16,6 @@ from repro.controlplane import (
     LeaseState,
     SchedulerConfig,
 )
-from repro.hypervisor import VMState
 from repro.testbeds import SiteSpec, sky_testbed
 
 
@@ -310,6 +309,58 @@ def test_drain_host_migrates_leased_vms_away():
     sim.run(until=job.done)
     assert job.state is JobState.COMPLETED
     assert any(e.action == "migrated" for e in plane.health.events)
+    assert_no_leaks(tb, plane)
+
+
+def test_cordoned_host_excluded_from_placement_and_capacity():
+    tb = small_testbed()
+    cloud = tb.clouds["c0"]
+    spec = InstanceSpec(memory_pages=64)
+    before = cloud.capacity(spec)
+    cordoned = cloud.hosts[0]
+
+    cloud.cordon(cordoned.name)
+    assert cloud.capacity(spec) < before
+    proc = cloud.run_instances(tb.image_name, 4, spec)
+    tb.sim.run(until=proc)
+    assert cordoned.vms == []
+    assert all(vm.host is not cordoned for vm in cloud.instances)
+
+    cloud.uncordon(cordoned.name)
+    assert cloud.capacity(spec) == before - 4
+    with pytest.raises(CloudError):
+        cloud.cordon("no-such-host")
+
+
+def test_draining_host_receives_no_new_grants():
+    """While a host drains, the fair-share scheduler places every new
+    lease on the remaining schedulable hosts."""
+    cfg = SchedulerConfig(interval=5.0)
+    tb, plane = make_plane(config=cfg)
+    plane.register_tenant("alice")
+    sim = tb.sim
+    drained = tb.clouds["c0"].hosts[0]
+
+    def scenario():
+        moved = yield plane.health.drain_host(drained)
+        assert moved == 0  # nothing leased yet: draining just cordons
+        assert drained.name in tb.clouds["c0"].unschedulable
+        jobs = [plane.submit("alice", n_nodes=8, runtime=40.0)
+                for _ in range(4)]
+        while not all(j.state is JobState.COMPLETED for j in jobs):
+            assert drained.vms == []  # never receives a placement
+            yield sim.timeout(5.0)
+
+    proc = sim.process(scenario())
+    sim.run(until=proc)
+    assert_no_leaks(tb, plane)
+
+    plane.health.undrain_host(drained)
+    assert drained.name not in tb.clouds["c0"].unschedulable
+    job = plane.submit("alice", n_nodes=plane.queue.potential_capacity(),
+                       runtime=10.0)
+    sim.run(until=job.done)  # a full-width job needs the host back
+    assert job.state is JobState.COMPLETED
     assert_no_leaks(tb, plane)
 
 

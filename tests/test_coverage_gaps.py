@@ -61,7 +61,6 @@ def test_image_repository_names_and_contains():
 
 
 def test_experiments_registry_matches_bench_files():
-    import pathlib
 
     from repro.experiments import EXPERIMENTS, bench_dir
 

@@ -33,8 +33,8 @@ def test_flow_slows_when_link_degrades():
 
     def congestion(sim):
         yield sim.timeout(1.0)  # 1 MB moved at 1 MB/s
+        # No manual rebalance: the topology notifies the scheduler.
         topo.set_bandwidth("a", "b", 0.25e6)
-        sched.rebalance()
 
     sim.process(congestion(sim))
     sim.run(until=flow.done)
@@ -49,11 +49,43 @@ def test_flow_speeds_up_when_link_recovers():
     def upgrade(sim):
         yield sim.timeout(2.0)  # 1 MB moved
         topo.set_bandwidth("a", "b", 2e6)
-        sched.rebalance()
 
     sim.process(upgrade(sim))
     sim.run(until=flow.done)
     assert sim.now == pytest.approx(2.5)
+
+
+@pytest.mark.parametrize("mode", ["incremental", "full"])
+def test_rates_update_without_manual_rebalance(mode):
+    """set_bandwidth alone re-rates in-flight flows, in both modes."""
+    sim, topo, sched = build(bw=1e6)
+    if mode == "full":
+        sched = FlowScheduler(sim, topo, mode="full")
+    flow = sched.start_flow("a", "b", 2e6)
+
+    def congestion(sim):
+        yield sim.timeout(1.0)
+        topo.set_bandwidth("a", "b", 0.5e6)
+        yield sim.timeout(0.0)  # batched URGENT recompute has run
+        assert flow.rate == pytest.approx(0.5e6)
+
+    sim.process(congestion(sim))
+    sim.run(until=flow.done)
+    assert sim.now == pytest.approx(3.0)  # 1 MB @ 1 MB/s + 1 MB @ 0.5 MB/s
+
+
+def test_detached_scheduler_is_not_notified():
+    sim, topo, sched = build(bw=1e6)
+    flow = sched.start_flow("a", "b", 2e6)
+    topo.detach(sched)
+
+    def congestion(sim):
+        yield sim.timeout(1.0)
+        topo.set_bandwidth("a", "b", 0.25e6)
+
+    sim.process(congestion(sim))
+    sim.run(until=flow.done)
+    assert sim.now == pytest.approx(2.0)  # old rate kept: no listener
 
 
 def test_asymmetric_runtime_change():
@@ -84,7 +116,6 @@ def test_migration_adapts_to_congestion():
     def congestion(sim):
         yield sim.timeout(0.2)
         topo.set_bandwidth("a", "b", 12.5e6)  # collapse to 100 Mbit/s
-        sched.rebalance()
 
     sim.process(congestion(sim))
     migrator = LiveMigrator(sim, sched)

@@ -1,7 +1,6 @@
 """Tests for the Elastic MapReduce service and its scaling policies."""
 
 import numpy as np
-import pytest
 
 from repro.emr import (
     DeadlineScalePolicy,

@@ -21,7 +21,7 @@ from repro.network import (
     mbit_per_s,
 )
 from repro.simkernel import Simulator
-from repro.vine import MigrationReconfigurator, ViNeOverlay
+from repro.vine import ViNeOverlay
 from repro.workloads import web_server
 
 from tests.test_sky_federation import build_federation

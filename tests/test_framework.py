@@ -1,6 +1,5 @@
 """Tests for the unified dynamic-infrastructure framework."""
 
-import numpy as np
 import pytest
 
 from repro.framework import DynamicInfrastructure

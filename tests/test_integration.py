@@ -16,7 +16,6 @@ from repro.network import Connection
 from repro.patterns import (
     GroundTruthRecorder,
     HypervisorSniffer,
-    TrafficMatrix,
     cosine_similarity,
 )
 from repro.sky import SkyMigrationService

@@ -1,7 +1,6 @@
 """Tests for speculative execution (Hadoop straggler mitigation)."""
 
 import numpy as np
-import pytest
 
 from repro.hypervisor import MemoryImage, PhysicalHost, VirtualMachine
 from repro.mapreduce import JobTracker, MapReduceJob

@@ -4,7 +4,6 @@ import pytest
 
 from repro.metrics import (
     MetricsRecorder,
-    Probe,
     TimeSeries,
     active_flow_sampler,
     link_utilization_sampler,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.simkernel import (
     EmptySchedule,
-    Event,
     Interrupt,
     SimulationError,
     Simulator,

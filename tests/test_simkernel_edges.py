@@ -2,13 +2,7 @@
 
 import pytest
 
-from repro.simkernel import (
-    AnyOf,
-    Event,
-    PriorityResource,
-    SimulationError,
-    Simulator,
-)
+from repro.simkernel import AnyOf, PriorityResource, Simulator
 
 
 def test_fail_requires_exception_instance():

@@ -5,7 +5,6 @@ import pytest
 
 from repro.cloud import SpotMarket, SpotState
 from repro.hypervisor import VMState
-from repro.simkernel import Simulator
 from repro.sky import (
     FederationError,
     MigratableSpotManager,

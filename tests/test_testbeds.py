@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.testbeds import (
-    PAPER_SITES,
-    SiteSpec,
-    sky_testbed,
-    two_cloud_testbed,
-)
+from repro.testbeds import SiteSpec, sky_testbed, two_cloud_testbed
 
 
 def test_default_testbed_layout():

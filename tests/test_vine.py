@@ -1,6 +1,5 @@
 """Tests for the ViNe overlay, routers and migration reconfiguration."""
 
-import numpy as np
 import pytest
 
 from repro.hypervisor import (

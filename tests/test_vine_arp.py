@@ -2,14 +2,12 @@
 
 import pytest
 
-from repro.hypervisor import MemoryImage, PhysicalHost, VirtualMachine
 from repro.network import Site, Topology
 from repro.simkernel import Simulator
 from repro.vine import (
     ArpProxyTable,
     GratuitousArp,
     MigrationReconfigurator,
-    ViNeOverlay,
     emit_gratuitous_arp,
 )
 
