@@ -20,6 +20,8 @@ substrate, every system the paper describes:
 * :mod:`repro.controlplane` — the multi-tenant control plane: job
   queue with admission control, lease-based grants, fair-share
   scheduling and self-healing over the federation;
+* :mod:`repro.obs` — the causal tracing spine: spans, typed
+  instruments, Perfetto export and the critical-path analyzer;
 * :mod:`repro.workloads` — memory profiles, BLAST, price traces,
   communication patterns.
 
@@ -89,6 +91,15 @@ from .autonomic import AdaptationEngine, CommunicationAwarePlanner
 from .emr import DeadlineScalePolicy, ElasticMapReduceService
 from .framework import DynamicInfrastructure
 from .metrics import MetricsRecorder, TimeSeries
+from .obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    Tracer,
+    critical_path,
+    to_chrome_trace,
+    tracer_of,
+)
 
 __version__ = "1.0.0"
 
@@ -102,6 +113,7 @@ __all__ = [
     "Connection",
     "ContentRegistry",
     "ControlPlane",
+    "Counter",
     "DeadlineScalePolicy",
     "DynamicInfrastructure",
     "ElasticCluster",
@@ -110,8 +122,10 @@ __all__ = [
     "FairShareScheduler",
     "Federation",
     "FlowScheduler",
+    "Gauge",
     "GroundTruthRecorder",
     "HealthMonitor",
+    "Histogram",
     "HypervisorSniffer",
     "InstancePricing",
     "Interrupt",
@@ -140,11 +154,15 @@ __all__ = [
     "SkyMigrationService",
     "SpotMarket",
     "Topology",
+    "Tracer",
     "TrafficMatrix",
     "ViNeOverlay",
+    "critical_path",
     "VirtualMachine",
     "gbit_per_s",
     "make_image",
     "mbit_per_s",
+    "to_chrome_trace",
+    "tracer_of",
     "shrinker_codec_factory",
 ]

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 from ..hypervisor.vm import VirtualMachine
 from ..network.flows import FlowScheduler
 from ..network.transport import Transport
+from ..obs.trace import tracer_of
 from ..simkernel import Process, Simulator
 
 #: Bytes of the context exchange (template + roster + keys).
@@ -55,10 +56,12 @@ class ContextBroker:
         self.role_script_time = role_script_time
 
     def contextualize(self, vms: Sequence[VirtualMachine],
-                      roles: Optional[Dict[str, str]] = None) -> Process:
+                      roles: Optional[Dict[str, str]] = None,
+                      span=None) -> Process:
         """Contextualize ``vms`` into one cluster.
 
         ``roles`` maps VM name to role; unnamed VMs get ``"worker"``.
+        ``span`` optionally parents the contextualization's trace span.
         Yield the process for a :class:`ContextualizationResult`.
         """
         if not vms:
@@ -66,20 +69,28 @@ class ContextBroker:
         roles = dict(roles or {})
         for vm in vms:
             roles.setdefault(vm.name, "worker")
-        return self.sim.process(self._run(list(vms), roles),
+        return self.sim.process(self._run(list(vms), roles, span),
                                 name="contextualize")
 
-    def _run(self, vms: List[VirtualMachine], roles: Dict[str, str]):
+    def _run(self, vms: List[VirtualMachine], roles: Dict[str, str],
+             parent_span=None):
         started = self.sim.now
+        tracer = tracer_of(self.sim)
+        cspan = tracer.start("contextualize", parent=parent_span,
+                             track="contextualize", vms=len(vms))
         # Each VM exchanges its context with the broker (both ways).
         joins = [
-            self.sim.process(self._join(vm), name=f"ctx-{vm.name}")
+            self.sim.process(self._join(vm, cspan), name=f"ctx-{vm.name}")
             for vm in vms
         ]
         yield self.sim.all_of(joins)
         all_joined = self.sim.now
+        cspan.event("barrier-passed")
         # Barrier passed: every VM runs its role scripts in parallel.
+        rspan = tracer.start("role-scripts", parent=cspan)
         yield self.sim.timeout(self.role_script_time)
+        rspan.end()
+        cspan.end()
         return ContextualizationResult(
             cluster_size=len(vms),
             started_at=started,
@@ -88,15 +99,18 @@ class ContextBroker:
             roles=roles,
         )
 
-    def _join(self, vm: VirtualMachine):
+    def _join(self, vm: VirtualMachine, span=None):
+        jspan = tracer_of(self.sim).start(f"ctx-join:{vm.name}",
+                                          parent=span, vm=vm.name)
         # Report in, then receive roster + credentials.
         up = self.transport.control(
             vm.site, self.site, CONTEXT_MESSAGE_BYTES,
-            tag="context", src_vm=vm.name,
+            tag="context", src_vm=vm.name, span=jspan,
         )
         yield up.done
         down = self.transport.control(
             self.site, vm.site, CONTEXT_MESSAGE_BYTES,
-            tag="context", dst_vm=vm.name,
+            tag="context", dst_vm=vm.name, span=jspan,
         )
         yield down.done
+        jspan.end()

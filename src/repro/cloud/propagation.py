@@ -29,6 +29,7 @@ from typing import Dict, List, Sequence, Set
 from ..hypervisor.host import PhysicalHost
 from ..network.flows import FlowScheduler
 from ..network.transport import Transport
+from ..obs.trace import tracer_of
 from ..simkernel import Process, Simulator
 from .images import VMImage
 
@@ -82,8 +83,10 @@ class _PropagationBase:
         #: The repository node's NIC (bytes/s): the unicast bottleneck.
         self.repo_uplink = repo_uplink
 
-    def deploy(self, image: VMImage, hosts: Sequence[PhysicalHost]) -> Process:
-        """Propagate ``image`` so that every host in ``hosts`` holds it."""
+    def deploy(self, image: VMImage, hosts: Sequence[PhysicalHost],
+               span=None) -> Process:
+        """Propagate ``image`` so that every host in ``hosts`` holds it.
+        ``span`` optionally parents the deployment's trace span."""
         if not hosts:
             raise ValueError("no hosts to deploy to")
         sites = {h.site for h in hosts}
@@ -91,10 +94,21 @@ class _PropagationBase:
             raise ValueError(
                 "one deployment targets one site; split per-site first"
             )
-        return self.sim.process(self._deploy(image, list(hosts)),
+        return self.sim.process(self._traced_deploy(image, list(hosts), span),
                                 name=f"deploy-{image.name}")
 
-    def _deploy(self, image, hosts):  # pragma: no cover - abstract
+    def _traced_deploy(self, image, hosts, parent_span):
+        dspan = tracer_of(self.sim).start(
+            f"propagate:{image.name}", parent=parent_span,
+            track=f"propagate:{hosts[0].site}",
+            image=image.name, strategy=self.name, hosts=len(hosts),
+        )
+        stats = yield from self._deploy(image, hosts, dspan)
+        dspan.set(bytes_moved=stats.bytes_moved,
+                  cache_hits=stats.cache_hits).end()
+        return stats
+
+    def _deploy(self, image, hosts, span):  # pragma: no cover - abstract
         raise NotImplementedError
         yield
 
@@ -108,7 +122,7 @@ class UnicastPropagation(_PropagationBase):
 
     name = "unicast"
 
-    def _deploy(self, image: VMImage, hosts: List[PhysicalHost]):
+    def _deploy(self, image: VMImage, hosts: List[PhysicalHost], span=None):
         started = self.sim.now
         site = hosts[0].site
         misses = [h for h in hosts if not self.cache.has(h, image.name)]
@@ -122,7 +136,7 @@ class UnicastPropagation(_PropagationBase):
                 self.transport.propagation(
                     site, site, image.size_bytes,
                     rate_cap=per_host_cap, tag="image-unicast",
-                    image=image.name, host=h.name,
+                    image=image.name, host=h.name, span=span,
                 )
                 for h in misses
             ]
@@ -148,7 +162,7 @@ class BroadcastChainPropagation(_PropagationBase):
         #: Connection-establishment cost added per chain hop.
         self.hop_setup = hop_setup
 
-    def _deploy(self, image: VMImage, hosts: List[PhysicalHost]):
+    def _deploy(self, image: VMImage, hosts: List[PhysicalHost], span=None):
         started = self.sim.now
         site = hosts[0].site
         misses = [h for h in hosts if not self.cache.has(h, image.name)]
@@ -159,11 +173,14 @@ class BroadcastChainPropagation(_PropagationBase):
             # uplink or the LAN); pipelining makes the stream cross all
             # hosts in (almost) the time of a single transfer.
             setup = self.hop_setup * len(misses)
+            sspan = tracer_of(self.sim).start(
+                "chain-setup", parent=span, hops=len(misses))
             yield self.sim.timeout(setup)
+            sspan.end()
             flow = self.transport.propagation(
                 site, site, image.size_bytes,
                 rate_cap=self.repo_uplink, tag="image-chain",
-                image=image.name, chain_length=len(misses),
+                image=image.name, chain_length=len(misses), span=span,
             )
             yield flow.done
             moved = image.size_bytes * len(misses)  # bytes over the LAN
@@ -194,16 +211,19 @@ class CowPropagation(_PropagationBase):
             repo_uplink=self.repo_uplink,
         )
 
-    def _deploy(self, image: VMImage, hosts: List[PhysicalHost]):
+    def _deploy(self, image: VMImage, hosts: List[PhysicalHost], span=None):
         started = self.sim.now
         misses = [h for h in hosts if not self.cache.has(h, image.name)]
         hits = len(hosts) - len(misses)
         moved = 0.0
         if misses:
-            stats = yield self._chain.deploy(image, misses)
+            stats = yield self._chain.deploy(image, misses, span=span)
             moved = stats.bytes_moved
         # Overlay creation on all hosts happens in parallel.
+        ospan = tracer_of(self.sim).start(
+            "overlay-setup", parent=span, hosts=len(hosts))
         yield self.sim.timeout(self.overlay_setup)
+        ospan.end()
         return DeploymentStats(image.name, len(hosts), moved, started,
                                self.sim.now, self.name, cache_hits=hits)
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Optional
 
+from ..obs.trace import NULL_SPAN
 from ..simkernel import Event, Process, Simulator
 
 
@@ -109,6 +110,12 @@ class Job:
         self.done: Event = sim.event()
         #: The runner process while RUNNING (scheduler-internal).
         self._runner: Optional[Process] = None
+        #: Root trace span covering admission -> completion (the queue
+        #: opens it at submit; stays :data:`~repro.obs.NULL_SPAN` when
+        #: tracing is off).
+        self.span = NULL_SPAN
+        #: Child span of one QUEUED stretch (queue-internal).
+        self._queued_span = NULL_SPAN
 
     @property
     def total_work(self) -> float:

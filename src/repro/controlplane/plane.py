@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from ..metrics import MetricsRecorder
+from ..obs.trace import tracer_of
 from ..simkernel import Event, Simulator
 from ..sky.federation import Federation
 from .health import HealthMonitor
@@ -39,6 +40,10 @@ class ControlPlane:
     spot_markets:
         Optional ``{cloud_name: SpotMarket}`` consulted for placement
         pricing.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; when given it is installed
+        on the simulator, so every job gets an
+        admission->queue->lease->completion trace.
     """
 
     def __init__(self, sim: Simulator, federation: Federation,
@@ -48,11 +53,15 @@ class ControlPlane:
                  spot_markets: Optional[Dict[str, object]] = None,
                  heal_policy: str = "replace",
                  health_interval: float = 30.0,
-                 sweep_interval: float = 30.0):
+                 sweep_interval: float = 30.0,
+                 tracer=None):
         self.sim = sim
         self.federation = federation
         self.image_name = image_name
         self.metrics = metrics if metrics is not None else MetricsRecorder(sim)
+        if tracer is not None:
+            tracer.install()
+        self.tracer = tracer if tracer is not None else tracer_of(sim)
         self.config = config or SchedulerConfig()
         self.queue = JobQueue(sim, federation, spec=self.config.spec,
                               metrics=self.metrics)

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 
 from ..cloud.provider import CloudError, InstanceSpec, QuotaExceeded
 from ..metrics import MetricsRecorder
+from ..obs.trace import tracer_of
 from ..simkernel import Event, Simulator
 from ..sky.federation import Federation
 from .jobs import Job, JobState, Tenant
@@ -89,9 +90,14 @@ class JobQueue:
         if job.state is not JobState.PENDING:
             raise AdmissionError(f"{job.name!r} is {job.state.value}, "
                                  f"only pending jobs can be submitted")
+        job.span = tracer_of(self.sim).start(
+            f"job:{job.name}", track=f"job:{job.name}",
+            tenant=job.tenant, nodes=job.n_nodes,
+        )
         if job.min_nodes > self.potential_capacity():
             job.state = JobState.REJECTED
             self.rejected += 1
+            job.span.end(status="rejected")
             raise AdmissionError(
                 f"{job.name!r} needs {job.min_nodes} nodes; the federation "
                 f"can hold at most {self.potential_capacity()}"
@@ -100,6 +106,7 @@ class JobQueue:
                 and len(self._queues[job.tenant]) >= tenant.max_queued):
             job.state = JobState.REJECTED
             self.rejected += 1
+            job.span.end(status="rejected")
             raise QuotaExceeded(
                 f"tenant {tenant.name!r} already has "
                 f"{len(self._queues[job.tenant])} queued jobs "
@@ -120,6 +127,8 @@ class JobQueue:
 
     def _enqueue(self, job: Job) -> None:
         job.state = JobState.QUEUED
+        job._queued_span = tracer_of(self.sim).start("queued",
+                                                     parent=job.span)
         # Sort key: priority descending, then submission order (job.id
         # is monotonic, so requeued jobs resume their original rank).
         insort(self._queues[job.tenant], job,
@@ -153,6 +162,7 @@ class JobQueue:
         if not q:
             raise LookupError(f"tenant {tenant!r} has no queued jobs")
         job = q.pop(0)
+        job._queued_span.end()
         if self.metrics is not None:
             self.metrics.record("queue.depth", self.depth())
         return job

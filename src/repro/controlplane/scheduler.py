@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 
 from ..cloud.provider import Cloud, CloudError, InstanceSpec
 from ..metrics import MetricsRecorder
+from ..obs.trace import tracer_of
 from ..simkernel import Interrupt, Process, Simulator
 from ..sky.federation import Federation, FederationError
 from ..sky.scheduler import PlacementError
@@ -226,6 +227,8 @@ class FairShareScheduler:
     def _run_job(self, job: Job, allocation: Dict[str, int]):
         cfg = self.config
         n = sum(allocation.values())
+        tracer = tracer_of(self.sim)
+        pspan = tracer.start("provision", parent=job.span, nodes=n)
         try:
             cluster = yield self.federation.create_virtual_cluster(
                 self.image_name, n, policy=_FixedAllocation(allocation),
@@ -234,6 +237,7 @@ class FairShareScheduler:
             )
         except (CloudError, PlacementError, FederationError):
             # Lost a provisioning race; back in the queue untouched.
+            pspan.end(status="error")
             self.queue.tenants[job.tenant].reserved -= job.total_work
             self.queue.resubmit(job)
             return
@@ -241,26 +245,32 @@ class FairShareScheduler:
             for name, count in allocation.items():
                 self._committed[name] -= count
             self._tenant_inflight[job.tenant] -= n
+        pspan.end()
 
         lease = self.leases.grant(job.tenant, cluster, cfg.lease_term,
                                   job=job)
         job.state = JobState.RUNNING
         job.attempts += 1
+        job.span.event("lease-granted", lease=lease.id, nodes=n)
         if job.started_at is None:
             job.started_at = self.sim.now
             if self.metrics is not None:
                 self.metrics.record("queue.wait", job.wait_time)
 
+        rspan = tracer.start("run", parent=job.span, attempt=job.attempts)
         try:
             while job.work_remaining > 0:
                 nodes = max(1, len(cluster.vms))
                 dt = min(cfg.interval, job.work_remaining / nodes)
                 if lease.remaining < dt + cfg.interval:
                     self.leases.renew(lease)
+                    job.span.event("lease-renewed", lease=lease.id)
                 yield self.sim.timeout(dt)
                 job.work_remaining = max(0.0, job.work_remaining - nodes * dt)
-        except Interrupt:
+        except Interrupt as intr:
+            rspan.end(status=str(intr.cause) if intr.cause else "interrupted")
             return  # requeue/teardown handled by the interrupter
+        rspan.end()
 
         job._runner = None
         job.state = JobState.COMPLETED
@@ -273,6 +283,8 @@ class FairShareScheduler:
         if self.metrics is not None:
             self.metrics.record("jobs.completed", self.jobs_completed)
             self.metrics.record("job.turnaround", job.turnaround)
+        job.span.set(attempts=job.attempts,
+                     turnaround=job.turnaround).end()
         job.done.succeed(job)
 
     # -- self-healing / requeue -----------------------------------------
@@ -300,8 +312,10 @@ class FairShareScheduler:
             self.jobs_failed += 1
             if self.metrics is not None:
                 self.metrics.record("jobs.failed", self.jobs_failed)
+            job.span.set(attempts=job.attempts).end(status="failed")
             job.done.succeed(job)
             return
+        job.span.event("requeued", reason=reason)
         self.jobs_requeued += 1
         if self.metrics is not None:
             self.metrics.record("jobs.requeued", self.jobs_requeued)

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..network.flows import FlowScheduler
 from ..network.transport import Transport
+from ..obs.trace import tracer_of
 from ..simkernel import Process, Simulator
 from .host import PhysicalHost
 from .vm import VirtualMachine, VMState
@@ -149,9 +150,12 @@ class LiveMigrator:
         )
 
     def migrate(self, vm: VirtualMachine, dst_host: PhysicalHost,
-                config: Optional[MigrationConfig] = None) -> Process:
+                config: Optional[MigrationConfig] = None,
+                span=None) -> Process:
         """Start migrating ``vm`` to ``dst_host``; yield the returned
-        process to obtain its :class:`MigrationStats`."""
+        process to obtain its :class:`MigrationStats`.  ``span`` is an
+        optional parent :class:`~repro.obs.Span` for the migration's
+        trace (per-phase child spans are created under it)."""
         config = config or MigrationConfig()
         if vm.host is None:
             raise MigrationError(f"{vm.name!r} is not running anywhere")
@@ -166,15 +170,29 @@ class LiveMigrator:
                 f"{vm.name!r} does not fit on destination {dst_host.name!r}"
             )
         return self.sim.process(
-            self._migrate(vm, dst_host, config),
+            self._migrate(vm, dst_host, config, span),
             name=f"migrate-{vm.name}",
         )
 
     # -- engine ----------------------------------------------------------
 
+    def _dedup_lookup(self, codec, n_items: int, parent, tracer):
+        """Charge the round-trip of the batched digest query against the
+        destination's content registry (Shrinker sends hashes first and
+        the destination answers which contents it needs).  Opt-in via
+        ``codec.lookup_rtt``; the default of zero keeps the classic
+        lookup-free model."""
+        rtt = getattr(codec, "lookup_rtt", 0.0)
+        if not rtt or n_items <= 0:
+            return
+        span = tracer.start("dedup-lookup", parent=parent,
+                            phase="dedup-lookup", items=int(n_items))
+        yield self.sim.timeout(rtt)
+        span.end()
+
     def _transfer(self, wire_bytes: float, src: str, dst: str,
                   config: MigrationConfig, phase: str, vm: VirtualMachine,
-                  codec=None, payload_bytes: float = 0.0):
+                  codec=None, payload_bytes: float = 0.0, span=None):
         # A codec that hashes pages (Shrinker) can only *feed* the wire
         # as fast as it processes payload; on fast links this caps the
         # flow below link speed — why the paper's measured time saving
@@ -187,16 +205,20 @@ class LiveMigrator:
                                                               feed_rate)
         return self.transport.migration(
             src, dst, wire_bytes, rate_cap=rate_cap,
-            vm=vm.name, phase=phase,
+            vm=vm.name, phase=phase, span=span,
         ).done
 
     def _migrate(self, vm: VirtualMachine, dst_host: PhysicalHost,
-                 config: MigrationConfig):
+                 config: MigrationConfig, parent_span=None):
         src_site = vm.host.site
         dst_site = dst_host.site
         codec = self.codec_factory(vm, dst_site)
         stats = MigrationStats(vm.name, src_site, dst_site,
                                started_at=self.sim.now)
+        tracer = tracer_of(self.sim)
+        mspan = tracer.start(f"migrate:{vm.name}", parent=parent_span,
+                             track=f"migrate:{vm.name}", vm=vm.name,
+                             src=src_site, dst=dst_site)
         was_paused = vm.state is VMState.PAUSED
         if not was_paused:
             vm.state = VMState.MIGRATING
@@ -205,17 +227,28 @@ class LiveMigrator:
         migrating_disk = config.migrate_storage and vm.disk is not None
         if migrating_disk:
             vm.disk.read_and_clear_dirty()  # start block tracking fresh
-            enc = codec.encode(vm.disk.blocks())
+            blocks = vm.disk.blocks()
+            sspan = tracer.start("storage-precopy", parent=mspan,
+                                 phase="storage", blocks=len(blocks))
+            yield from self._dedup_lookup(codec, len(blocks), sspan, tracer)
+            enc = codec.encode(blocks)
             stats.disk_wire_bytes = enc.wire_bytes
             yield self._transfer(enc.wire_bytes, src_site, dst_site,
                                  config, "storage", vm, codec=codec,
-                                 payload_bytes=enc.payload_bytes)
+                                 payload_bytes=enc.payload_bytes,
+                                 span=sspan)
+            sspan.end()
 
         # -- iterative memory pre-copy -----------------------------------
         vm.memory.clear_dirty()
         to_send = np.arange(vm.memory.n_pages)
         bandwidth_estimate = None
         while True:
+            rspan = tracer.start(f"precopy-round-{stats.rounds + 1}",
+                                 parent=mspan, phase="precopy",
+                                 pages=len(to_send))
+            yield from self._dedup_lookup(codec, len(to_send), rspan,
+                                          tracer)
             fps = vm.memory.pages[to_send]
             enc = codec.encode(fps)
             stats.round_log.append(enc)
@@ -228,12 +261,15 @@ class LiveMigrator:
             round_start = self.sim.now
             yield self._transfer(enc.wire_bytes, src_site, dst_site,
                                  config, "precopy", vm, codec=codec,
-                                 payload_bytes=enc.payload_bytes)
+                                 payload_bytes=enc.payload_bytes,
+                                 span=rspan)
             elapsed = self.sim.now - round_start
             if elapsed > 0 and enc.wire_bytes > 0:
                 bandwidth_estimate = enc.wire_bytes / elapsed
 
             dirty = vm.memory.read_and_clear_dirty()
+            rspan.set(wire_bytes=enc.wire_bytes,
+                      dirty_after=len(dirty)).end()
             if len(dirty) == 0:
                 pending_dirty = dirty
                 break
@@ -252,6 +288,8 @@ class LiveMigrator:
         # -- stop-and-copy -------------------------------------------------
         vm.pause()
         pause_at = self.sim.now
+        scspan = tracer.start("stop-and-copy", parent=mspan,
+                              phase="stopcopy")
         # The dirty set that triggered the stop decision plus anything
         # written since (the guest ran on until this instant).
         final_dirty = np.union1d(pending_dirty,
@@ -266,6 +304,8 @@ class LiveMigrator:
                 dirty_disk_wire = disk_enc.wire_bytes
                 stats.disk_wire_bytes += disk_enc.wire_bytes
         if len(final_dirty) or vm.cpu_state_bytes or dirty_disk_wire:
+            yield from self._dedup_lookup(codec, len(final_dirty),
+                                          scspan, tracer)
             if len(final_dirty):
                 enc = codec.encode(vm.memory.pages[final_dirty])
             else:
@@ -279,15 +319,22 @@ class LiveMigrator:
             yield self._transfer(
                 enc.wire_bytes + vm.cpu_state_bytes + dirty_disk_wire,
                 src_site, dst_site, config, "stopcopy", vm,
-                codec=codec, payload_bytes=enc.payload_bytes)
+                codec=codec, payload_bytes=enc.payload_bytes,
+                span=scspan)
+        scspan.set(pages=int(len(final_dirty))).end()
         if config.activation_delay:
+            aspan = tracer.start("activation", parent=mspan,
+                                 phase="activation")
             yield self.sim.timeout(config.activation_delay)
+            aspan.end()
 
         # -- switch-over ---------------------------------------------------
         vm.host.evict(vm)
         dst_host.place(vm)
         stats.downtime = self.sim.now - pause_at
         stats.finished_at = self.sim.now
+        mspan.set(rounds=stats.rounds, downtime=stats.downtime,
+                  wire_bytes=stats.wire_bytes).end()
         if was_paused:
             vm.state = VMState.PAUSED
         else:

@@ -32,6 +32,7 @@ import numpy as np
 from ..hypervisor.vm import VirtualMachine
 from ..network.flows import FlowScheduler
 from ..network.transport import Transport
+from ..obs.trace import NULL_SPAN, tracer_of
 from ..simkernel import Event, Interrupt, Process, Resource, Simulator
 from .hdfs import BlockStore
 from .job import JobResult, MapReduceJob, Task, TaskKind, TaskState
@@ -69,6 +70,8 @@ class _JobRun:
         self.task_start: Dict[Task, float] = {}
         #: Durations of completed attempts (straggler baseline).
         self.completed_durations: List[float] = []
+        #: Root trace span for the job's whole run.
+        self.span = NULL_SPAN
 
     @property
     def all_maps_done(self) -> bool:
@@ -144,13 +147,25 @@ class TaskTracker:
             return  # the job ended while this attempt was queued
         job = task.job
         task.attempts += 1
-        if task.kind is TaskKind.MAP:
-            yield from self._execute_map(run, job, task)
-        else:
-            yield from self._execute_reduce(run, job, task)
+        span = tracer_of(self.sim).start(
+            f"{task.kind.value}:{task.index}", parent=run.span,
+            track=f"tt:{self.vm.name}", vm=self.vm.name,
+            attempt=task.attempts,
+        )
+        try:
+            if task.kind is TaskKind.MAP:
+                yield from self._execute_map(run, job, task, span)
+            else:
+                yield from self._execute_reduce(run, job, task, span)
+        except BaseException:
+            span.end(status="interrupted")
+            raise
+        span.end()
 
-    def _execute_map(self, run: _JobRun, job: MapReduceJob, task: Task):
+    def _execute_map(self, run: _JobRun, job: MapReduceJob, task: Task,
+                     span=NULL_SPAN):
         local = self.jt.hdfs.is_local(self.vm, job, task.index)
+        span.set(local=local)
         if local:
             run.result.local_maps += 1
         else:
@@ -163,12 +178,14 @@ class TaskTracker:
                 flow = self.jt.transport.shuffle(
                     src.site, self.vm.site, job.split_bytes,
                     tag="mr-input", src_vm=src.name, dst_vm=self.vm.name,
+                    span=span,
                 )
                 yield flow.done
         yield self.sim.timeout(job.map_cpu[task.index] / self.speed)
         run.map_outputs[task.index] = (self.vm.name, self.vm.site)
 
-    def _execute_reduce(self, run: _JobRun, job: MapReduceJob, task: Task):
+    def _execute_reduce(self, run: _JobRun, job: MapReduceJob, task: Task,
+                        span=NULL_SPAN):
         # Shuffle: this reducer's partition of every map output,
         # aggregated into one flow per source node.
         per_map = (job.map_output_bytes / job.n_reduces
@@ -188,10 +205,12 @@ class TaskTracker:
             flow = self.jt.transport.shuffle(
                 src_site, self.vm.site, nbytes,
                 tag="mr-shuffle", src_vm=src_name, dst_vm=self.vm.name,
+                span=span,
             )
             waits.append(flow.done)
         if waits:
             yield self.sim.all_of(waits)
+            span.event("shuffle-complete", sources=len(waits))
         yield self.sim.timeout(job.reduce_cpu[task.index] / self.speed)
 
     def __repr__(self):
@@ -380,6 +399,8 @@ class JobTracker:
             run.result.reduce_attempts += task.attempts
         if run.finished:
             run.result.finished_at = self.sim.now
+            run.span.set(shuffle_bytes=run.result.shuffle_bytes,
+                         local_maps=run.result.local_maps).end()
             self.current = None
             run.completed.succeed(run.result)
         self._finish_drain(tracker)
@@ -469,6 +490,10 @@ class JobTracker:
             yield req
             self.hdfs.load_input(job, self.rng)
             run = _JobRun(self.sim, job)
+            run.span = tracer_of(self.sim).start(
+                f"mr:{job.name}", track=f"mr:{job.name}",
+                maps=job.n_maps, reduces=job.n_reduces,
+            )
             run.result.started_at = self.sim.now
             self.current = run
             self._dispatch()

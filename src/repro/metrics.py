@@ -24,11 +24,20 @@ Example
 
 from __future__ import annotations
 
+import csv
+import io
 from typing import Callable, Dict, List, Optional, Tuple
 
 from .network.flows import FlowScheduler
 from .network.topology import DirectedLink
-from .simkernel import Simulator
+from .obs.instruments import (
+    Counter,
+    Gauge,
+    Histogram,
+    Instrument,
+    _interpolated_percentile,
+)
+from .simkernel import Interrupt, Simulator
 
 
 class TimeSeries:
@@ -75,6 +84,35 @@ class TimeSeries:
             total += v0 * (t1 - t0)
         return total
 
+    def percentile(self, q: float) -> float:
+        """The q-th percentile of the sampled values (linear
+        interpolation between ranks; ``percentile(50)`` = median)."""
+        if not self.samples:
+            raise ValueError(f"{self.name!r} has no samples")
+        return _interpolated_percentile(sorted(self.values()), q)
+
+    def rate(self) -> "TimeSeries":
+        """Derivative series of a monotonically increasing counter:
+        one ``delta / dt`` sample per interval, timestamped at the
+        interval's end (e.g. cumulative bytes -> bytes/second).
+
+        Raises :class:`ValueError` if the series decreases or repeats a
+        timestamp — those are not counters."""
+        out = TimeSeries(f"{self.name}.rate")
+        for (t0, v0), (t1, v1) in zip(self.samples, self.samples[1:]):
+            if v1 < v0:
+                raise ValueError(
+                    f"{self.name!r} decreases at t={t1}; rate() needs a "
+                    f"monotonically increasing counter"
+                )
+            if t1 == t0:
+                raise ValueError(
+                    f"{self.name!r} has two samples at t={t1}; rate() "
+                    f"needs distinct sample times"
+                )
+            out.record(t1, (v1 - v0) / (t1 - t0))
+        return out
+
     def __repr__(self):
         return f"<TimeSeries {self.name!r} n={len(self.samples)}>"
 
@@ -91,17 +129,34 @@ class Probe:
         self.fn = fn
         self.interval = interval
         self.active = True
+        self._pending = None
         self.process = sim.process(self._run(), name=f"probe-{series.name}")
 
     def stop(self) -> None:
+        """Stop sampling *now*: the pending timeout is descheduled so a
+        long-interval probe no longer pins the event queue until its
+        next tick (``stop_all()`` really quiesces the simulation)."""
+        if not self.active:
+            return
         self.active = False
+        pending, self._pending = self._pending, None
+        if (pending is not None and self.process.is_alive
+                and self.process is not self.sim.active_process
+                and self.process.target is pending):
+            pending.deschedule()
+            self.process.interrupt("probe-stopped")
 
     def _run(self):
-        while self.active:
-            yield self.sim.timeout(self.interval)
-            if not self.active:
-                return
-            self.series.record(self.sim.now, self.fn())
+        try:
+            while self.active:
+                self._pending = self.sim.timeout(self.interval)
+                yield self._pending
+                self._pending = None
+                if not self.active:
+                    return
+                self.series.record(self.sim.now, self.fn())
+        except Interrupt:
+            return
 
 
 class MetricsRecorder:
@@ -111,6 +166,7 @@ class MetricsRecorder:
         self.sim = sim
         self._series: Dict[str, TimeSeries] = {}
         self._probes: List[Probe] = []
+        self._instruments: Dict[str, Instrument] = {}
 
     def series(self, name: str) -> TimeSeries:
         """Get (or create) a series."""
@@ -134,6 +190,35 @@ class MetricsRecorder:
         for probe in self._probes:
             probe.stop()
 
+    # -- typed instruments ----------------------------------------------
+
+    def _instrument(self, name: str, cls):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = cls(
+                name, sink=lambda value: self.record(name, value))
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"{name!r} is already a {type(inst).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        """Get (or create) a :class:`~repro.obs.Counter` streaming its
+        running total into series ``name``."""
+        return self._instrument(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get (or create) a :class:`~repro.obs.Gauge` streaming its
+        value into series ``name``."""
+        return self._instrument(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """Get (or create) a :class:`~repro.obs.Histogram` streaming
+        each observation into series ``name``."""
+        return self._instrument(name, Histogram)
+
     def names(self) -> List[str]:
         return sorted(self._series)
 
@@ -151,22 +236,27 @@ class MetricsRecorder:
         }
 
     def to_csv(self, name: str) -> str:
-        """One series as ``time,value`` CSV text."""
+        """One series as ``time,value`` CSV text (values containing
+        commas or quotes are escaped per RFC 4180)."""
         ts = self.series(name)
-        lines = ["time,value"]
-        lines += [f"{t},{v}" for t, v in ts.samples]
-        return "\n".join(lines) + "\n"
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(["time", "value"])
+        writer.writerows(ts.samples)
+        return buf.getvalue()
 
     def dump_csv(self, path, names: Optional[List[str]] = None) -> int:
         """Write series (default: all) to ``path`` as long-format
-        ``series,time,value`` CSV; returns the number of rows written."""
+        ``series,time,value`` CSV (UTF-8; series names containing
+        commas are quoted); returns the number of rows written."""
         selected = names if names is not None else self.names()
         rows = 0
-        with open(path, "w") as fh:
-            fh.write("series,time,value\n")
+        with open(path, "w", encoding="utf-8", newline="") as fh:
+            writer = csv.writer(fh, lineterminator="\n")
+            writer.writerow(["series", "time", "value"])
             for name in selected:
                 for t, v in self.series(name).samples:
-                    fh.write(f"{name},{t},{v}\n")
+                    writer.writerow([name, t, v])
                     rows += 1
         return rows
 

@@ -38,6 +38,7 @@ import enum
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from ..obs.trace import tracer_of
 from .flows import Flow, FlowRecord, FlowScheduler, SharedCap
 
 
@@ -199,9 +200,14 @@ class Transport:
     def start(self, transfer_class: TransferClass, src: str, dst: str,
               size: float, rate_cap: Optional[float] = None,
               tag: Optional[str] = None, priority: Optional[float] = None,
-              **meta) -> Flow:
+              span=None, **meta) -> Flow:
         """Start a typed transfer; returns the underlying :class:`Flow`
-        (wait on ``flow.done``)."""
+        (wait on ``flow.done``).
+
+        ``span`` is an optional parent :class:`~repro.obs.Span`: with a
+        tracer installed, the transfer gets a child span covering its
+        whole network time, ended (status ``cancelled`` on cancellation)
+        when the flow completes."""
         policy = self.policies[transfer_class]
         caps = [c for c in (rate_cap, policy.rate_cap) if c is not None]
         effective_cap = min(caps) if caps else None
@@ -209,7 +215,7 @@ class Transport:
         if policy.aggregate_cap is not None:
             shared = (self._class_cap(transfer_class, policy.aggregate_cap),)
         meta.setdefault("transfer_class", transfer_class)
-        return self.scheduler.start_flow(
+        flow = self.scheduler.start_flow(
             src, dst, size,
             rate_cap=effective_cap,
             tag=tag if tag is not None else transfer_class.value,
@@ -217,6 +223,16 @@ class Transport:
             shared_caps=shared,
             **meta,
         )
+        tracer = tracer_of(self.sim)
+        if tracer.enabled:
+            xfer = tracer.start(
+                f"xfer:{transfer_class.value}", parent=span,
+                track=None if span is not None and span.track is not None
+                else f"net:{transfer_class.value}",
+                src=src, dst=dst, bytes=size,
+            )
+            xfer.end_on(flow.done)
+        return flow
 
     def migration(self, src: str, dst: str, size: float, **kwargs) -> Flow:
         """Pre-copy round / checkpoint / restore traffic."""

@@ -1,0 +1,63 @@
+"""Observability: causal tracing, typed instruments, trace exporters.
+
+The package sits between the simkernel and every instrumented subsystem:
+
+* :mod:`repro.obs.trace` — :class:`Tracer` / :class:`Span` on the
+  simulation clock, with a zero-cost :data:`NULL_TRACER` default;
+* :mod:`repro.obs.instruments` — :class:`Counter`, :class:`Gauge`,
+  :class:`Histogram` (exposed through
+  :class:`~repro.metrics.MetricsRecorder` factories);
+* :mod:`repro.obs.export` — Chrome trace-event / Perfetto JSON and
+  structured JSONL span logs;
+* :mod:`repro.obs.critical_path` — offline dominant-chain analysis
+  with per-phase time attribution.
+
+Quick use::
+
+    from repro.obs import Tracer, critical_path
+
+    tracer = Tracer(sim).install()      # instrumentation finds it
+    ...                                  # run the scenario
+    tracer.dump_chrome_trace("trace.json")   # open in ui.perfetto.dev
+    print(critical_path(tracer).format(key="phase"))
+"""
+
+from .critical_path import CriticalPathReport, Segment, critical_path
+from .export import (
+    dump_chrome_trace,
+    dump_jsonl,
+    span_to_dict,
+    spans_to_jsonl,
+    to_chrome_trace,
+)
+from .instruments import Counter, Gauge, Histogram
+from .trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanContext,
+    Tracer,
+    tracer_of,
+)
+
+__all__ = [
+    "Counter",
+    "CriticalPathReport",
+    "Gauge",
+    "Histogram",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "Segment",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "critical_path",
+    "dump_chrome_trace",
+    "dump_jsonl",
+    "span_to_dict",
+    "spans_to_jsonl",
+    "to_chrome_trace",
+    "tracer_of",
+]

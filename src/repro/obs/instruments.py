@@ -1,0 +1,146 @@
+"""Typed metric instruments: counters, gauges, histograms.
+
+Complementing :class:`~repro.metrics.TimeSeries` (raw samples over
+time), these are the classic aggregation shapes:
+
+* :class:`Counter` — monotonically increasing total (bytes sent,
+  transfers completed);
+* :class:`Gauge` — a value that goes up and down (queue depth, flows in
+  flight);
+* :class:`Histogram` — a distribution with ``percentile()`` (migration
+  downtimes, round-trip times).
+
+Each instrument can stream its updates into a sink callable; the
+:class:`~repro.metrics.MetricsRecorder` factory methods
+(``counter``/``gauge``/``histogram``) wire that sink to a time series,
+so instruments and probes coexist in one registry.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional
+
+Sink = Optional[Callable[[float], None]]
+
+
+def _interpolated_percentile(data: List[float], q: float) -> float:
+    """Linear-interpolation percentile over a *sorted* list."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q={q} outside [0, 100]")
+    if not data:
+        raise ValueError("no observations")
+    if len(data) == 1:
+        return data[0]
+    pos = (q / 100.0) * (len(data) - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return data[lo]
+    frac = pos - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+class Instrument:
+    """Shared naming/sink plumbing."""
+
+    __slots__ = ("name", "_sink")
+
+    def __init__(self, name: str, sink: Sink = None):
+        self.name = name
+        self._sink = sink
+
+    def _emit(self, value: float) -> None:
+        if self._sink is not None:
+            self._sink(value)
+
+
+class Counter(Instrument):
+    """A monotonically increasing total."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, sink: Sink = None):
+        super().__init__(name, sink)
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> float:
+        """Add ``amount`` (must be >= 0); returns the new total."""
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self._value += amount
+        self._emit(self._value)
+        return self._value
+
+
+class Gauge(Instrument):
+    """A value that moves both ways."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, sink: Sink = None):
+        super().__init__(name, sink)
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> float:
+        self._value = float(value)
+        self._emit(self._value)
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> float:
+        return self.set(self._value + amount)
+
+    def dec(self, amount: float = 1.0) -> float:
+        return self.set(self._value - amount)
+
+
+class Histogram(Instrument):
+    """A distribution of observations with summary statistics."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, name: str, sink: Sink = None):
+        super().__init__(name, sink)
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+        self._emit(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def sum(self) -> float:
+        return sum(self._values)
+
+    def mean(self) -> float:
+        if not self._values:
+            raise ValueError(f"histogram {self.name!r} has no observations")
+        return self.sum / len(self._values)
+
+    def minimum(self) -> float:
+        if not self._values:
+            raise ValueError(f"histogram {self.name!r} has no observations")
+        return min(self._values)
+
+    def maximum(self) -> float:
+        if not self._values:
+            raise ValueError(f"histogram {self.name!r} has no observations")
+        return max(self._values)
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (linear interpolation between ranks),
+        e.g. ``percentile(50)`` is the median."""
+        return _interpolated_percentile(sorted(self._values), q)

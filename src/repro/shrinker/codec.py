@@ -29,7 +29,8 @@ class ShrinkerCodec:
 
     def __init__(self, registry: ContentRegistry, page_size: int,
                  scheme: HashScheme = SHA1, header_bytes: int = 8,
-                 processing_rate: float = 150e6):
+                 processing_rate: float = 150e6,
+                 lookup_rtt: float = 0.0):
         self.registry = registry
         self.page_size = page_size
         self.scheme = scheme
@@ -39,6 +40,11 @@ class ShrinkerCodec:
         #: the wire, so time savings trail bandwidth savings on fast
         #: links, as the paper measured.
         self.processing_rate = processing_rate
+        #: Seconds per batched digest query against the destination
+        #: registry (one WAN round-trip per pre-copy round / final copy
+        #: when the registry is remote).  Zero keeps the classic
+        #: lookup-free model; the migrator charges it when set.
+        self.lookup_rtt = lookup_rtt
 
     def encode(self, fingerprints: np.ndarray) -> TransferEncoding:
         """Encode one batch; registers newly transferred content."""
@@ -68,7 +74,8 @@ class ShrinkerCodec:
 
 def shrinker_codec_factory(registries, scheme: HashScheme = SHA1,
                            header_bytes: int = 8,
-                           processing_rate: float = 150e6):
+                           processing_rate: float = 150e6,
+                           lookup_rtt: float = 0.0):
     """A ``codec_factory`` for :class:`LiveMigrator`.
 
     ``registries`` is a :class:`~repro.shrinker.registry.RegistryDirectory`;
@@ -83,6 +90,7 @@ def shrinker_codec_factory(registries, scheme: HashScheme = SHA1,
             scheme=scheme,
             header_bytes=header_bytes,
             processing_rate=processing_rate,
+            lookup_rtt=lookup_rtt,
         )
 
     return factory

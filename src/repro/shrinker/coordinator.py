@@ -19,6 +19,7 @@ from ..hypervisor.migration import (
     MigrationStats,
 )
 from ..hypervisor.vm import VirtualMachine
+from ..obs.trace import tracer_of
 from ..simkernel import Process, Simulator
 
 
@@ -62,11 +63,21 @@ class ClusterMigrationStats:
 
 
 class ClusterMigrationCoordinator:
-    """Migrates groups of VMs with shared deduplication state."""
+    """Migrates groups of VMs with shared deduplication state.
 
-    def __init__(self, sim: Simulator, migrator: LiveMigrator):
+    An optional
+    :class:`~repro.vine.reconfig.MigrationReconfigurator` lets the
+    coordinator run the overlay fix-up (gratuitous-ARP detection +
+    routing update) as part of each member's migration, so a cluster
+    move is only "done" once connections would survive — and the ViNe
+    phase shows up in the migration's trace.
+    """
+
+    def __init__(self, sim: Simulator, migrator: LiveMigrator,
+                 reconfigurator=None):
         self.sim = sim
         self.migrator = migrator
+        self.reconfigurator = reconfigurator
 
     def migrate_cluster(self, vms: Sequence[VirtualMachine],
                         dst_hosts: Sequence[PhysicalHost],
@@ -88,18 +99,40 @@ class ClusterMigrationCoordinator:
             name="cluster-migration",
         )
 
+    def _migrate_one(self, vm, host, config, span):
+        old_site = vm.host.site
+        stats = yield self.migrator.migrate(vm, host, config, span=span)
+        recon = self.reconfigurator
+        if (recon is not None and getattr(vm, "has_address", False)
+                and vm.address.host in recon.overlay.members):
+            proc = recon.vm_migrated(vm, old_site, span=span)
+            if proc is not None:
+                yield proc
+        return stats
+
     def _run(self, vms, dst_hosts, config, wave_size):
+        tracer = tracer_of(self.sim)
+        cspan = tracer.start("cluster-migration", track="cluster-migration",
+                             vms=len(vms))
         stats = ClusterMigrationStats(started_at=self.sim.now)
         pairs = list(zip(vms, dst_hosts))
         step = wave_size or len(pairs)
         for wave_start in range(0, len(pairs), step):
             wave = pairs[wave_start:wave_start + step]
+            wspan = tracer.start(f"wave-{wave_start // step + 1}",
+                                 parent=cspan, vms=len(wave))
             procs = [
-                self.migrator.migrate(vm, host, config)
+                self.sim.process(
+                    self._migrate_one(vm, host, config, wspan),
+                    name=f"cluster-migrate-{vm.name}",
+                )
                 for vm, host in wave
             ]
             results = yield self.sim.all_of(procs)
             for proc in procs:
                 stats.per_vm.append(results[proc])
+            wspan.end()
         stats.finished_at = self.sim.now
+        cspan.set(wire_bytes=stats.total_wire_bytes,
+                  saving=stats.bandwidth_saving).end()
         return stats

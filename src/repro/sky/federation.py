@@ -70,7 +70,7 @@ class Federation:
                          if use_shrinker else None)
         self.migrator = LiveMigrator(sim, scheduler, codec_factory)
         self.migration_coordinator = ClusterMigrationCoordinator(
-            sim, self.migrator)
+            sim, self.migrator, reconfigurator=self.reconfigurator)
         self.clusters: List[VirtualCluster] = []
 
     # -- lookups ---------------------------------------------------------

@@ -26,6 +26,7 @@ from ..cloud.provider import Cloud
 from ..hypervisor.host import PhysicalHost
 from ..hypervisor.migration import MigrationConfig, MigrationError, MigrationStats
 from ..hypervisor.vm import VirtualMachine
+from ..obs.trace import tracer_of
 from ..simkernel import Process
 from .federation import Federation, FederationError
 
@@ -98,16 +99,22 @@ class SkyMigrationService:
         fed = self.federation
         sim = fed.sim
         started = sim.now
+        root = tracer_of(sim).start(
+            f"sky-migrate:{vm.name}", track=f"sky-migrate:{vm.name}",
+            vm=vm.name, src=src_cloud.name, dst=dst_cloud.name,
+        )
 
         # 1. Mutual authentication between the clouds' head nodes.
+        aspan = tracer_of(sim).start("auth", parent=root, phase="auth")
         for a, b in ((src_cloud.name, dst_cloud.name),
                      (dst_cloud.name, src_cloud.name)):
             flow = fed.transport.control(
                 a, b, AUTH_HANDSHAKE_BYTES, tag="auth",
-                vm=vm.name,
+                vm=vm.name, span=aspan,
             )
             yield flow.done
         yield sim.timeout(self.crypto_handshake_time)
+        aspan.end()
         auth_done = sim.now
 
         # 2-3. The live migration proper, over the secured channel.  The
@@ -116,13 +123,14 @@ class SkyMigrationService:
         fed.index_destination_content(dst_cloud.name)
         config = config or MigrationConfig(migrate_storage=True)
         old_site = vm.site
-        stats = yield fed.migrator.migrate(vm, dst_host, config)
+        stats = yield fed.migrator.migrate(vm, dst_host, config, span=root)
         stats.wire_bytes *= self.secure_channel_overhead
 
         # 4. Overlay reconfiguration (no-op for VMs not on the overlay).
         reconfigured = False
         if vm.has_address and vm.address.host in fed.overlay.members:
-            proc = fed.reconfigurator.vm_migrated(vm, old_site=old_site)
+            proc = fed.reconfigurator.vm_migrated(vm, old_site=old_site,
+                                                  span=root)
             if proc is not None:
                 yield proc
                 reconfigured = True
@@ -130,6 +138,7 @@ class SkyMigrationService:
         # 5. Billing hand-off.
         src_cloud.release(vm)
         dst_cloud.adopt(vm)
+        root.set(reconfigured=reconfigured).end()
 
         return CloudMigrationResult(
             stats=stats,

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..network.nat import Endpoint
+from ..obs.trace import tracer_of
 from ..simkernel import Process, Simulator
 from .overlay import ViNeOverlay
 
@@ -62,12 +63,15 @@ class MigrationReconfigurator:
         self.enabled = enabled
         self.records: List[ReconfigurationRecord] = []
 
-    def vm_migrated(self, vm: Endpoint, old_site: str) -> Optional[Process]:
+    def vm_migrated(self, vm: Endpoint, old_site: str,
+                    span=None) -> Optional[Process]:
         """Notify that ``vm`` just resumed at ``vm.site`` (its new site).
 
         Returns the reconfiguration process (or ``None`` when disabled).
         Call this right after the migration's switch-over — it is the
-        moment the guest broadcasts its gratuitous ARP.
+        moment the guest broadcasts its gratuitous ARP.  ``span`` is an
+        optional parent :class:`~repro.obs.Span` (the migration that
+        triggered the fix-up).
         """
         if not self.enabled:
             return None
@@ -77,22 +81,28 @@ class MigrationReconfigurator:
         old_router = self.overlay.routers.get(old_site)
         if old_router is not None:
             old_router.arp_proxy.engage(vm.address.host, self.sim.now)
-        return self.sim.process(self._reconfigure(vm, old_site),
+        return self.sim.process(self._reconfigure(vm, old_site, span),
                                 name=f"vine-reconfig-{vm.name}")
 
-    def _reconfigure(self, vm: Endpoint, old_site: str):
+    def _reconfigure(self, vm: Endpoint, old_site: str, parent_span=None):
         from .arp import emit_gratuitous_arp
 
+        tracer = tracer_of(self.sim)
+        rspan = tracer.start(f"vine-reconfig:{vm.name}", parent=parent_span,
+                             track=f"vine:{vm.name}", phase="vine-reconfig",
+                             vm=vm.name)
         new_site = vm.site
         host = vm.address.host
         old_router = self.overlay.routers.get(old_site)
         # The resumed guest broadcasts a gratuitous ARP; the local ViNe
         # router observes it after LAN latency + pickup time.
+        dspan = tracer.start("arp-detect", parent=rspan)
         garp = yield emit_gratuitous_arp(
             self.sim, self.overlay.topology, vm.name, host, new_site,
             router_pickup=self.detection_delay,
         )
         detected_at = garp.observed_at
+        dspan.end()
         record = ReconfigurationRecord(
             vm_name=vm.name, old_site=old_site, new_site=new_site,
             detected_at=detected_at, completed_at=detected_at,
@@ -104,6 +114,8 @@ class MigrationReconfigurator:
 
         # Push updates to every other router; each lands after its own
         # control-path latency.  Spawn one updater per router and wait.
+        pspan = tracer.start("push-updates", parent=rspan,
+                             routers=max(0, len(self.overlay.routers) - 1))
         updaters = []
         for name, router in self.overlay.routers.items():
             if name == new_site:
@@ -111,19 +123,24 @@ class MigrationReconfigurator:
             delay = (self.overlay.topology.path_latency(new_site, name)
                      + router.processing_delay)
             updaters.append(self.sim.process(
-                self._push_update(router, host, new_site, delay, record)
+                self._push_update(router, host, new_site, delay, record,
+                                  pspan)
             ))
         if updaters:
             yield self.sim.all_of(updaters)
+        pspan.end()
         # The old-site router now knows the new location: withdraw proxy.
         if old_router is not None:
             old_router.arp_proxy.release(host)
         record.completed_at = self.sim.now
+        rspan.set(latency=record.reconfiguration_latency).end()
         self.records.append(record)
         return record
 
     def _push_update(self, router, host: int, new_site: str, delay: float,
-                     record: ReconfigurationRecord):
+                     record: ReconfigurationRecord, span=None):
         yield self.sim.timeout(delay)
         router.update(host, new_site)
         record.per_router_delay[router.site] = self.sim.now - record.detected_at
+        if span is not None:
+            span.event("router-updated", router=router.site)

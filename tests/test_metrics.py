@@ -78,6 +78,40 @@ def test_probe_stop():
     assert len(metrics.series("g")) == 3
 
 
+def test_probe_stop_deschedules_pending_timeout():
+    sim = Simulator()
+    metrics = MetricsRecorder(sim)
+    probe = metrics.probe("g", lambda: 1, interval=1000.0)
+
+    def stopper(sim):
+        yield sim.timeout(0.5)
+        probe.stop()
+
+    sim.process(stopper(sim))
+    sim.run()  # no `until`: runs until the event queue drains
+    # Without descheduling, the probe's pending 1000 s timeout would
+    # keep the simulation alive until t=1000.
+    assert sim.now == pytest.approx(0.5)
+    assert len(metrics.series("g")) == 0
+
+
+def test_probe_stop_is_idempotent_and_safe_mid_sample():
+    sim = Simulator()
+    metrics = MetricsRecorder(sim)
+    calls = []
+
+    def sample():
+        calls.append(sim.now)
+        probe.stop()  # stop from within the sampling callback
+        probe.stop()  # double stop must be harmless
+        return 1
+
+    probe = metrics.probe("g", sample, interval=2.0)
+    sim.run(until=10)
+    assert calls == [2.0]
+    assert len(metrics.series("g")) == 1
+
+
 def test_probe_interval_validation():
     sim = Simulator()
     with pytest.raises(ValueError):
@@ -92,6 +126,60 @@ def test_recorder_record_and_export():
     assert metrics.as_dict() == {"events": [(0.0, 1)]}
     csv = metrics.to_csv("events")
     assert csv == "time,value\n0.0,1\n"
+
+
+def test_timeseries_percentile():
+    ts = TimeSeries("x")
+    for t, v in enumerate((4, 1, 3, 2)):
+        ts.record(float(t), v)
+    assert ts.percentile(0) == 1
+    assert ts.percentile(100) == 4
+    assert ts.percentile(50) == pytest.approx(2.5)
+    assert ts.percentile(75) == pytest.approx(3.25)
+
+
+def test_timeseries_percentile_errors():
+    ts = TimeSeries("x")
+    with pytest.raises(ValueError):
+        ts.percentile(50)
+    ts.record(0.0, 1)
+    with pytest.raises(ValueError):
+        ts.percentile(200)
+
+
+def test_timeseries_rate():
+    ts = TimeSeries("bytes")
+    ts.record(0.0, 0.0)
+    ts.record(2.0, 100.0)
+    ts.record(4.0, 100.0)
+    ts.record(5.0, 250.0)
+    rate = ts.rate()
+    assert rate.name == "bytes.rate"
+    assert rate.samples == [(2.0, 50.0), (4.0, 0.0), (5.0, 150.0)]
+
+
+def test_timeseries_rate_requires_monotonic_counter():
+    ts = TimeSeries("c")
+    ts.record(0.0, 10.0)
+    ts.record(1.0, 5.0)
+    with pytest.raises(ValueError, match="monotonically increasing"):
+        ts.rate()
+
+
+def test_csv_escapes_series_names_with_commas(tmp_path):
+    sim = Simulator()
+    metrics = MetricsRecorder(sim)
+    metrics.record('link:a,b', 1.0)
+    metrics.record("plain", 2.0)
+    path = tmp_path / "metrics.csv"
+    metrics.dump_csv(path)
+    text = path.read_text(encoding="utf-8")
+    assert '"link:a,b"' in text  # RFC-4180 quoting, not a broken column
+    import csv as csv_mod
+    rows = list(csv_mod.reader(text.splitlines()))
+    assert rows[0] == ["series", "time", "value"]
+    assert ["link:a,b", "0.0", "1.0"] in rows
+    assert ["plain", "0.0", "2.0"] in rows
 
 
 def test_link_utilization_probe_tracks_flows():

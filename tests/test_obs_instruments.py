@@ -1,0 +1,94 @@
+"""Unit tests for the typed instruments and their recorder integration."""
+
+import pytest
+
+from repro.metrics import MetricsRecorder
+from repro.obs import Counter, Gauge, Histogram
+from repro.simkernel import Simulator
+
+
+def test_counter_accumulates_and_rejects_negative():
+    c = Counter("reqs")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    assert c.value == 3.5
+
+
+def test_gauge_set_inc_dec():
+    g = Gauge("depth")
+    g.set(10)
+    g.inc(5)
+    g.dec(3)
+    assert g.value == 12
+
+
+def test_histogram_summary_statistics():
+    h = Histogram("lat")
+    for v in (1.0, 2.0, 3.0, 4.0):
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == 10.0
+    assert h.mean() == pytest.approx(2.5)
+    assert h.minimum() == 1.0
+    assert h.maximum() == 4.0
+    assert h.percentile(0) == 1.0
+    assert h.percentile(100) == 4.0
+    assert h.percentile(50) == pytest.approx(2.5)
+    assert h.percentile(25) == pytest.approx(1.75)
+
+
+def test_histogram_percentile_errors():
+    h = Histogram("lat")
+    with pytest.raises(ValueError):
+        h.percentile(50)  # empty
+    h.observe(1.0)
+    with pytest.raises(ValueError):
+        h.percentile(-1)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_recorder_counter_streams_into_series():
+    sim = Simulator()
+    rec = MetricsRecorder(sim)
+    c = rec.counter("flows.started")
+
+    def work():
+        c.inc()
+        yield sim.timeout(1.0)
+        c.inc(2)
+
+    sim.process(work())
+    sim.run()
+    series = rec.series("flows.started")
+    assert series.samples == [(0.0, 1.0), (1.0, 3.0)]
+
+
+def test_recorder_gauge_and_histogram_stream():
+    sim = Simulator()
+    rec = MetricsRecorder(sim)
+    g = rec.gauge("depth")
+    h = rec.histogram("lat")
+    g.set(4)
+    g.dec()
+    h.observe(0.25)
+    assert rec.series("depth").samples == [(0.0, 4.0), (0.0, 3.0)]
+    assert rec.series("lat").samples == [(0.0, 0.25)]
+    assert h.percentile(50) == 0.25
+
+
+def test_recorder_instrument_factories_are_cached():
+    sim = Simulator()
+    rec = MetricsRecorder(sim)
+    assert rec.counter("x") is rec.counter("x")
+
+
+def test_recorder_rejects_kind_mismatch():
+    sim = Simulator()
+    rec = MetricsRecorder(sim)
+    rec.counter("x")
+    with pytest.raises(TypeError, match="already a Counter"):
+        rec.gauge("x")

@@ -1,0 +1,131 @@
+"""Acceptance tests: tracing a Shrinker cluster migration end to end.
+
+The headline guarantees of the tracing spine:
+
+* the critical path of a traced cluster migration tiles the root span
+  exactly and therefore sums to the end-to-end migration time;
+* per-phase attribution exposes pre-copy rounds, dedup lookups,
+  stop-and-copy and ViNe reconfiguration;
+* same-seed runs produce byte-identical span logs;
+* the exporter emits valid Chrome-trace JSON (loadable in Perfetto);
+* installing a tracer never changes simulated time.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.hypervisor import (
+    Dirtier,
+    LiveMigrator,
+    MigrationConfig,
+    VirtualMachine,
+)
+from repro.network.units import Mbit
+from repro.obs import Tracer, critical_path
+from repro.shrinker import (
+    ClusterMigrationCoordinator,
+    RegistryDirectory,
+    shrinker_codec_factory,
+)
+from repro.testbeds import two_cloud_testbed
+from repro.workloads import web_server
+
+N_VMS = 3
+PAGES = 2048  # 8 MiB per VM keeps the test fast
+
+
+def run_cluster_migration(traced=True, lookup_rtt=0.02, seed=7):
+    tb = two_cloud_testbed(wan_bandwidth=200 * Mbit,
+                           transatlantic_bandwidth=200 * Mbit,
+                           memory_pages=PAGES)
+    sim = tb.sim
+    tracer = Tracer(sim).install() if traced else None
+    profile = web_server()
+    rng = np.random.default_rng(seed)
+
+    vms, dst_hosts = [], []
+    for i in range(N_VMS):
+        vm = VirtualMachine(sim, f"web{i}",
+                            profile.generate_memory(rng, PAGES))
+        tb.clouds["rennes"].hosts[i].place(vm)
+        vm.boot()
+        Dirtier(sim, vm, profile, rng)
+        tb.federation.overlay.register(vm)
+        vms.append(vm)
+        dst_hosts.append(tb.clouds["chicago"].hosts[i])
+
+    codec_factory = shrinker_codec_factory(RegistryDirectory(),
+                                           lookup_rtt=lookup_rtt)
+    migrator = LiveMigrator(sim, tb.scheduler, codec_factory)
+    coordinator = ClusterMigrationCoordinator(
+        sim, migrator, reconfigurator=tb.federation.reconfigurator)
+    stats = sim.run(until=coordinator.migrate_cluster(
+        vms, dst_hosts, MigrationConfig()))
+    return tracer, stats
+
+
+def test_critical_path_sums_to_migration_time():
+    tracer, stats = run_cluster_migration()
+    report = critical_path(tracer)
+    assert report.root.name == "cluster-migration"
+    # The path tiles the root exactly: its duration IS the end-to-end
+    # cluster migration time (acceptance bound: within 1%).
+    assert report.total == pytest.approx(stats.duration, rel=0.01)
+    assert report.path_duration() == pytest.approx(report.total, rel=1e-9)
+
+
+def test_per_phase_attribution_names_every_subsystem():
+    tracer, _stats = run_cluster_migration()
+    phases = critical_path(tracer).by_attribute("phase")
+    for phase in ("precopy", "dedup-lookup", "stopcopy", "vine-reconfig"):
+        assert phase in phases, f"missing {phase} in {sorted(phases)}"
+        assert phases[phase] > 0
+    # attribution is a partition of the path
+    assert sum(phases.values()) == pytest.approx(
+        critical_path(tracer).total)
+
+
+def test_span_log_is_deterministic():
+    t1, s1 = run_cluster_migration()
+    t2, s2 = run_cluster_migration()
+    assert s1.duration == s2.duration
+    assert t1.to_jsonl() == t2.to_jsonl()  # byte-identical
+
+
+def test_chrome_trace_is_valid_and_complete():
+    tracer, _stats = run_cluster_migration()
+    doc = tracer.to_chrome_trace()
+    payload = json.dumps(doc)  # must be JSON-serializable
+    assert json.loads(payload)["traceEvents"]
+    for ev in doc["traceEvents"]:
+        for key in ("ph", "ts", "pid", "tid", "name"):
+            assert key in ev
+    names = {e["name"] for e in doc["traceEvents"]}
+    assert "cluster-migration" in names
+    assert "stop-and-copy" in names
+    assert any(n.startswith("migrate:web") for n in names)
+    assert any(n.startswith("vine-reconfig:") for n in names)
+    assert any(n.startswith("xfer:") for n in names)
+
+
+def test_tracing_does_not_change_simulated_time():
+    _, traced = run_cluster_migration(traced=True)
+    none, untraced = run_cluster_migration(traced=False)
+    assert none is None
+    assert traced.duration == untraced.duration
+    assert traced.total_wire_bytes == untraced.total_wire_bytes
+
+
+def test_migration_spans_carry_phase_detail():
+    tracer, stats = run_cluster_migration()
+    spans = tracer.finished_spans()
+    rounds = [s for s in spans if s.name.startswith("precopy-round-")]
+    assert rounds and all("wire_bytes" in s.attributes for s in rounds)
+    migs = [s for s in spans if s.name.startswith("migrate:")]
+    assert len(migs) == N_VMS
+    for m in migs:
+        assert {"rounds", "downtime", "wire_bytes"} <= set(m.attributes)
+    lookups = [s for s in spans if s.name == "dedup-lookup"]
+    assert lookups, "lookup_rtt > 0 must surface dedup-lookup spans"

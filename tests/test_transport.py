@@ -158,3 +158,48 @@ def test_bind_metrics_streams_per_class_series():
     assert metrics.series("transport.shuffle.transfers").last() == 3
     assert metrics.series("transport.shuffle.bytes").last() == 3e5
     assert len(metrics.series("transport.migration.bytes")) == 0
+
+
+def test_transfer_span_propagates_parent_context():
+    from repro.obs import Tracer
+
+    sim, sched = two_site()
+    transport = Transport.of(sched)
+    tracer = Tracer(sim).install()
+
+    def work():
+        with tracer.start("op", track="work") as parent:
+            flow = transport.migration("a", "b", 1e5, span=parent)
+            yield flow.done
+
+    sim.process(work())
+    sim.run()
+    spans = {s.name: s for s in tracer.finished_spans()}
+    xfer = spans["xfer:migration"]
+    parent = spans["op"]
+    assert xfer.parent_id == parent.span_id
+    assert xfer.trace_id == parent.trace_id
+    assert xfer.track == "work"  # inherits the caller's track
+    assert xfer.attributes["bytes"] == 1e5
+    assert xfer.end_time == pytest.approx(0.1)  # 1e5 B at 1 MB/s
+
+
+def test_transfer_without_parent_gets_per_class_track():
+    from repro.obs import Tracer
+
+    sim, sched = two_site()
+    transport = Transport.of(sched)
+    tracer = Tracer(sim).install()
+    flow = transport.shuffle("a", "b", 1e5)
+    sim.run(until=flow.done)
+    (span,) = tracer.finished_spans()
+    assert span.parent_id is None
+    assert span.track == "net:shuffle"
+
+
+def test_no_tracer_means_no_spans_and_no_attribute():
+    sim, sched = two_site()
+    transport = Transport.of(sched)
+    flow = transport.data("a", "b", 1e5)
+    sim.run(until=flow.done)
+    assert not hasattr(sim, "_tracer")
