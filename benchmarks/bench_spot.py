@@ -18,18 +18,25 @@ Expected shape: lost work classic >> checkpoint > migratable ~ 0, with
 checkpointing paying a steady WAN tax that migration does not.
 """
 
+import json
+import time
+from pathlib import Path
+
 import numpy as np
 
 from repro.cloud import SpotMarket, SpotState
+from repro.controlplane import ControlPlane, SchedulerConfig, SpotPolicy
+from repro.obs import Tracer
 from repro.sky import CheckpointingSpotManager, MigratableSpotManager
 from repro.testbeds import SiteSpec, sky_testbed
 from repro.workloads import SpotPriceProcess, spot_price_trace, web_server
 
-from _tables import print_table
+from _tables import fmt, print_table
 
 JOB_SECONDS = 6 * 3600.0
 N_INSTANCES = 8
 BID = 0.06
+HERE = Path(__file__).resolve().parent
 
 
 def run(mode: str, seed: int):
@@ -192,3 +199,151 @@ def test_e9_summary_table(benchmark):
     )
     print("shape: lost work classic >> checkpoint > migratable ~ 0; "
           "checkpointing pays a standing WAN tax migration avoids")
+
+
+# -- spot-backed control plane at scale ----------------------------------
+#
+# The subsystem test: the fair-share scheduler backs its leases with
+# bid-priced spot capacity (repro.controlplane.spot), rides out the
+# price spikes via rescue / requeue-with-progress, and the whole
+# 1000-job mixed workload must finish markedly cheaper than the same
+# workload on demand.
+
+SPOT_N_JOBS = 1000
+SPOT_TENANTS = (("alice", 1.0), ("bob", 2.0), ("carol", 1.0))
+
+
+def build_spot_plane(with_spot: bool, seed: int = 123):
+    tb = sky_testbed(
+        sites=[SiteSpec(f"c{i}", n_hosts=4, cores_per_host=16,
+                        on_demand_hourly=0.10 + 0.02 * i,
+                        region="eu" if i < 2 else "us")
+               for i in range(3)],
+        memory_pages=256, image_blocks=512,
+    )
+    markets = None
+    if with_spot:
+        markets = {}
+        for k, (name, cloud) in enumerate(sorted(tb.clouds.items())):
+            rng = np.random.default_rng(seed + 7 * k)
+            times, prices = spot_price_trace(
+                rng, duration=48 * 3600, tick=300, base=0.03,
+                spike_prob=0.04, spike_magnitude=6.0)
+            markets[name] = SpotMarket(
+                tb.sim, cloud, SpotPriceProcess(tb.sim, times, prices),
+                reclaim_grace=120.0)
+    tracer = Tracer(tb.sim)
+    plane = ControlPlane(
+        tb.sim, tb.federation, tb.image_name,
+        config=SchedulerConfig(interval=10.0, lease_term=600.0,
+                               max_attempts=10),
+        spot_markets=markets,
+        spot_policy=SpotPolicy(starvation_patience=1200.0)
+        if with_spot else None,
+        tracer=tracer,
+    ).start()
+    for name, weight in SPOT_TENANTS:
+        plane.register_tenant(name, weight=weight)
+    return tb, plane, tracer
+
+
+def submit_spot_workload(plane, n_jobs=SPOT_N_JOBS, seed=123):
+    rng = np.random.default_rng(seed)
+    names = [name for name, _ in SPOT_TENANTS]
+    jobs = []
+    for i in range(n_jobs):
+        tenant = names[int(rng.integers(len(names)))]
+        n_nodes = int(rng.choice([1, 1, 2, 2, 4, 8]))
+        runtime = float(rng.integers(60, 601))
+        jobs.append(plane.submit(tenant, n_nodes=n_nodes, runtime=runtime,
+                                 priority=int(rng.integers(3)),
+                                 name=f"w{i}"))
+    return jobs
+
+
+def run_spot_scenario(with_spot: bool):
+    wall = time.time()
+    tb, plane, tracer = build_spot_plane(with_spot)
+    jobs = submit_spot_workload(plane)
+    tb.sim.run(until=plane.all_done(jobs))
+    cost = sum(c.meter.cost(tb.sim.now) for c in tb.clouds.values())
+    return {
+        "plane": plane, "tracer": tracer, "jobs": jobs,
+        "cost": cost, "makespan": tb.sim.now,
+        "summary": plane.summary(),
+        "wall_s": time.time() - wall,
+    }
+
+
+def test_spot_backed_1000_jobs_save_over_on_demand(benchmark):
+    spot = benchmark.pedantic(run_spot_scenario, args=(True,),
+                              rounds=1, iterations=1)
+    baseline = run_spot_scenario(False)
+
+    s = spot["summary"]
+    assert s["completed"] == SPOT_N_JOBS, s
+    assert baseline["summary"]["completed"] == SPOT_N_JOBS
+    assert spot["plane"].leases.leaked() == []
+
+    savings_pct = 1.0 - spot["cost"] / baseline["cost"]
+    spot_summary = s["spot"]
+
+    # Every reclamation episode that ended a backing resolved to exactly
+    # one outcome per instance...
+    mgr = spot["plane"].spot
+    terminal = [e for e in mgr.resolutions()]
+    assert len({e.vm_name for e in terminal}) == len(terminal)
+    # ...visible as trace spans...
+    episode_spans = [sp for sp in tracer_spans(spot["tracer"])
+                     if sp.name.startswith("spot-reclaim:")]
+    resolved = [sp for sp in episode_spans if sp.end_time is not None]
+    assert len(resolved) == len(episode_spans)
+    assert {sp.status for sp in resolved} <= {
+        "rescued", "requeued", "checkpointed", "survived", "closed"}
+    # ...and as per-tenant counters.
+    metrics = spot["plane"].metrics
+    for outcome, count in spot_summary["outcomes"].items():
+        if count:
+            per_tenant = sum(
+                metrics.series(f"spot.{outcome}.{t}").last() or 0
+                for t, _ in SPOT_TENANTS)
+            assert per_tenant == count
+
+    rows = [
+        ("jobs completed", s["completed"]),
+        ("nodes spot-backed", spot_summary["enrolled"]),
+        ("reclaim episodes", spot_summary["reclaim_events"]),
+        ("rescued / ckpt / requeued",
+         "{rescued}/{checkpointed}/{requeued}".format(
+             **spot_summary["outcomes"])),
+        ("on-demand cost ($)", fmt(baseline["cost"], 2)),
+        ("spot-backed cost ($)", fmt(spot["cost"], 2)),
+        ("savings", f"{savings_pct:.0%}"),
+        ("makespan spot/od (sim s)",
+         f"{spot['makespan']:.0f}/{baseline['makespan']:.0f}"),
+        ("wall (s)", fmt(spot["wall_s"], 1)),
+    ]
+    print_table("SPOT-BACKED CONTROL PLANE: 1000 jobs vs on-demand",
+                ["metric", "value"], rows)
+
+    assert spot_summary["enrolled"] > 0
+    assert savings_pct >= 0.20, f"savings {savings_pct:.1%} below 20%"
+    assert spot_summary["savings_total"] > 0
+
+    exported = metrics.to_dict()
+    payload = {
+        "savings_pct": savings_pct,
+        "on_demand_cost": baseline["cost"],
+        "spot_cost": spot["cost"],
+        "outcomes": spot_summary["outcomes"],
+        "enrolled": spot_summary["enrolled"],
+        "savings_by_tenant": spot_summary["savings_by_tenant"],
+        "series": {k: v for k, v in exported.items()
+                   if k.startswith("spot.") or k in
+                   ("queue.depth", "jobs.completed")},
+    }
+    (HERE / "BENCH_spot.json").write_text(json.dumps(payload, indent=1))
+
+
+def tracer_spans(tracer):
+    return tracer.spans

@@ -42,6 +42,37 @@ class UsageMeter:
         self._closed.append((vm_name, start, at, cost))
         return cost
 
+    def rebill(self, vm_name: str, at: float, hourly_rate: float) -> None:
+        """Change a running instance's rate from ``at`` onward: the
+        segment billed so far is closed at the old rate and a new one
+        opens at ``hourly_rate`` (spot-market re-pricing, billing
+        hand-offs).  A no-op when the rate is unchanged."""
+        try:
+            start, rate = self._open[vm_name]
+        except KeyError:
+            raise ValueError(f"{vm_name!r} is not metered") from None
+        if at < start:
+            raise ValueError("rebill before segment start")
+        if hourly_rate == rate:
+            return
+        cost = (at - start) / 3600.0 * rate
+        self._closed.append((vm_name, start, at, cost))
+        self._open[vm_name] = (at, hourly_rate)
+
+    def current_rate(self, vm_name: str) -> float:
+        """The hourly rate the instance is currently billed at."""
+        try:
+            return self._open[vm_name][1]
+        except KeyError:
+            raise ValueError(f"{vm_name!r} is not metered") from None
+
+    def segments(self, vm_name: str) -> List[Tuple[float, float, float]]:
+        """Closed billing segments for ``vm_name`` as ``(start, stop,
+        cost)`` tuples, in billing order."""
+        return [(start, stop, cost)
+                for name, start, stop, cost in self._closed
+                if name == vm_name]
+
     def cost(self, now: float) -> float:
         """Total cost including still-running instances up to ``now``."""
         closed = sum(c for _, _, _, c in self._closed)

@@ -11,26 +11,44 @@ through a pluggable ``reclaim_handler``: return True to signal the VM
 was rescued (moved away) rather than killed.  The handler itself —
 which needs the federation and the Shrinker migrator — lives in
 :mod:`repro.sky.spot_manager` to keep layering clean.
+
+Two ways onto the market:
+
+* :meth:`SpotMarket.request_spot` — the provider launches a fresh
+  instance (the classic customer API);
+* :meth:`SpotMarket.enroll` — an *already-running* instance (e.g. one
+  node of a leased virtual cluster) is switched to spot pricing.  Its
+  lifecycle stays with whoever provisioned it; :meth:`SpotMarket.retire`
+  hands it back to on-demand terms without touching the VM.
+
+Billing follows the market: spot instances are metered at
+``min(market price, bid)`` and re-rated on every price change, so a
+spot-backed hour is never billed above the bid.  Every reclamation
+episode resolves exactly once — to ``"rescued"``, ``"reclaimed"``,
+``"survived"`` (price receded within the grace window) or ``"closed"``
+(customer terminated it mid-episode) — reported through the optional
+``on_resolution`` callback; the per-instance ``reclaim_event`` fires
+only for the two terminal outcomes, and only once.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, List, Optional
 
 from ..hypervisor.vm import VirtualMachine
 from ..simkernel import Event, Simulator
 from ..workloads.traces import SpotPriceProcess
-from .provider import Cloud
+from .provider import Cloud, CloudError
 
 
 class SpotState(Enum):
     RUNNING = "running"
     RECLAIMED = "reclaimed"  # killed by the provider
     RESCUED = "rescued"  # migrated away before the kill
-    CLOSED = "closed"  # terminated by the customer
+    CLOSED = "closed"  # terminated (or retired) by the customer
 
 
 @dataclass
@@ -45,6 +63,10 @@ class SpotInstance:
     ended_at: Optional[float] = None
     #: Fires when the provider reclaims (value: "reclaimed"/"rescued").
     reclaim_event: Optional[Event] = None
+    #: True while a reclamation episode is in flight (price crossed the
+    #: bid, outcome not yet resolved) — further price changes above the
+    #: bid must not open a second episode for the same instance.
+    reclaiming: bool = field(default=False, repr=False)
 
     @property
     def alive(self) -> bool:
@@ -70,11 +92,26 @@ class SpotMarket:
         #: ``handler(instance) -> process`` returning True if the VM was
         #: moved to safety during the grace window.
         self.reclaim_handler: Optional[Callable] = None
+        #: ``on_resolution(instance, outcome)`` fires exactly once per
+        #: reclamation episode with "rescued", "reclaimed", "survived"
+        #: or "closed" — the hook economic layers build accounting on.
+        self.on_resolution: Optional[Callable[[SpotInstance, str], None]] = None
         prices.subscribe(self._on_price_change)
 
     @property
     def current_price(self) -> float:
         return self.prices.current_price
+
+    # -- billing ---------------------------------------------------------
+
+    def _spot_rate(self, inst: SpotInstance) -> float:
+        """Spot billing never exceeds the bid (the customer's cap)."""
+        return min(self.current_price, inst.bid)
+
+    def _rerate(self, inst: SpotInstance) -> None:
+        if inst.alive and inst.vm in self.cloud.instances:
+            self.cloud.meter.rebill(inst.vm.name, self.sim.now,
+                                    self._spot_rate(inst))
 
     # -- customer API ---------------------------------------------------
 
@@ -104,7 +141,48 @@ class SpotMarket:
                             launched_at=self.sim.now,
                             reclaim_event=self.sim.event())
         self.instances.append(inst)
+        self._rerate(inst)
         return inst
+
+    def enroll(self, vm: VirtualMachine, bid: float) -> SpotInstance:
+        """Switch an already-running instance of this cloud to spot
+        pricing at ``bid``; returns its :class:`SpotInstance`.
+
+        The VM's lifecycle (provisioning, lease teardown) stays with the
+        caller — the market only re-prices it and subjects it to
+        reclamation.  Rejected if the bid is below the current price or
+        the VM is not billed by this cloud.
+        """
+        if bid <= 0:
+            raise ValueError("bid must be positive")
+        if bid < self.current_price:
+            raise ValueError(
+                f"bid {bid} below current price {self.current_price}"
+            )
+        if vm not in self.cloud.instances:
+            raise CloudError(
+                f"{vm.name!r} is not an instance of {self.cloud.name!r}"
+            )
+        if any(i.vm is vm and i.alive for i in self.instances):
+            raise ValueError(f"{vm.name!r} is already on the spot market")
+        inst = SpotInstance(vm=vm, bid=bid, cloud=self.cloud,
+                            launched_at=self.sim.now,
+                            reclaim_event=self.sim.event())
+        self.instances.append(inst)
+        self._rerate(inst)
+        return inst
+
+    def retire(self, inst: SpotInstance) -> None:
+        """Take an enrolled instance off spot terms without touching the
+        VM: billing returns to the on-demand rate, pending reclamation
+        episodes resolve as "closed"."""
+        if inst.state is not SpotState.RUNNING:
+            return
+        inst.state = SpotState.CLOSED
+        inst.ended_at = self.sim.now
+        if inst.vm in self.cloud.instances:
+            self.cloud.meter.rebill(inst.vm.name, self.sim.now,
+                                    self.cloud.pricing.on_demand_hourly)
 
     def close(self, inst: SpotInstance) -> None:
         """Customer-initiated termination."""
@@ -117,9 +195,23 @@ class SpotMarket:
 
     def _on_price_change(self, price: float) -> None:
         for inst in list(self.instances):
-            if inst.alive and price > inst.bid:
+            if not inst.alive:
+                continue
+            self._rerate(inst)
+            if price > inst.bid and not inst.reclaiming:
+                inst.reclaiming = True
                 self.sim.process(self._reclaim(inst),
                                  name=f"reclaim-{inst.vm.name}")
+
+    def _resolve(self, inst: SpotInstance, outcome: str) -> None:
+        """Close one reclamation episode with exactly one outcome."""
+        inst.reclaiming = False
+        if (outcome in ("rescued", "reclaimed")
+                and inst.reclaim_event is not None
+                and not inst.reclaim_event.triggered):
+            inst.reclaim_event.succeed(outcome)
+        if self.on_resolution is not None:
+            self.on_resolution(inst, outcome)
 
     def _reclaim(self, inst: SpotInstance):
         # Grace window (the provider's reclamation warning): the paper's
@@ -132,18 +224,23 @@ class SpotMarket:
         if remaining > 0:
             yield self.sim.timeout(remaining)
         if not inst.alive:
-            return  # closed during the grace window
+            # Closed/retired during the grace window.
+            self._resolve(inst, "closed")
+            return
         # Re-check: the price may have dropped back during the grace.
         if not rescued and self.current_price <= inst.bid:
+            self._resolve(inst, "survived")
             return
         inst.ended_at = self.sim.now
         if rescued:
             inst.state = SpotState.RESCUED
-            # The VM left this cloud alive; just stop billing it here.
+            # The VM left this cloud alive: stop billing it here if the
+            # migration's billing hand-off has not already — from now on
+            # it is metered at the destination cloud's price.
             if inst.vm in self.cloud.instances:
                 self.cloud.release(inst.vm)
-            inst.reclaim_event.succeed("rescued")
+            self._resolve(inst, "rescued")
         else:
             inst.state = SpotState.RECLAIMED
             self.cloud.terminate(inst.vm)
-            inst.reclaim_event.succeed("reclaimed")
+            self._resolve(inst, "reclaimed")

@@ -25,15 +25,19 @@ Example
 3
 """
 
+from .bidding import (BiddingStrategy, OnDemandClip, PercentileOfTrace,
+                      UtilityScaled)
 from .health import FailureInjector, HealEvent, HealthMonitor
 from .jobs import Job, JobState, Tenant
 from .lease import Lease, LeaseError, LeaseManager, LeaseState
 from .plane import ControlPlane
 from .queue import AdmissionError, JobQueue
 from .scheduler import FairShareScheduler, SchedulerConfig
+from .spot import SpotBacking, SpotCapacityManager, SpotPolicy
 
 __all__ = [
     "AdmissionError",
+    "BiddingStrategy",
     "ControlPlane",
     "FailureInjector",
     "FairShareScheduler",
@@ -46,6 +50,12 @@ __all__ = [
     "LeaseError",
     "LeaseManager",
     "LeaseState",
+    "OnDemandClip",
+    "PercentileOfTrace",
     "SchedulerConfig",
+    "SpotBacking",
+    "SpotCapacityManager",
+    "SpotPolicy",
     "Tenant",
+    "UtilityScaled",
 ]

@@ -99,13 +99,22 @@ class Job:
             )
         self.state = JobState.PENDING
         self.submitted_at: Optional[float] = None
+        #: When the job last entered the queue (submit or requeue) —
+        #: starvation is measured from here, not from ``submitted_at``,
+        #: so a freshly requeued job does not instantly look starved.
+        self.queued_at: Optional[float] = None
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         #: How many times the job entered RUNNING (1 = never requeued).
         self.attempts = 0
-        #: Node-seconds of work still to do (reset on requeue: restarts
-        #: lose progress, the checkpointing follow-on would keep it).
+        #: Node-seconds of work still to do.  Preserved across requeues
+        #: (job-level checkpointing): a preempted or healed job resumes
+        #: from its completed node-seconds instead of restarting.
         self.work_remaining = self.runtime * n_nodes
+        #: Node-seconds currently reserved against the tenant's fair
+        #: share for this job's in-flight grant (scheduler-internal;
+        #: equals ``work_remaining`` at dispatch, 0 when not granted).
+        self._reserved_work = 0.0
         #: Fires with the job when it completes or fails terminally.
         self.done: Event = sim.event()
         #: The runner process while RUNNING (scheduler-internal).
@@ -121,6 +130,16 @@ class Job:
     def total_work(self) -> float:
         """Total node-seconds this job represents."""
         return self.runtime * self.n_nodes
+
+    @property
+    def progress(self) -> float:
+        """Completed node-seconds — the credit a requeued job keeps."""
+        return self.total_work - self.work_remaining
+
+    @property
+    def progress_fraction(self) -> float:
+        """Completed fraction of the job's work in [0, 1]."""
+        return self.progress / self.total_work if self.total_work else 1.0
 
     @property
     def elastic(self) -> bool:

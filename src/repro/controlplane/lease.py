@@ -86,6 +86,10 @@ class LeaseManager:
         #: Called as ``on_expire(lease)`` after an expired lease's
         #: resources were reclaimed (the scheduler requeues its job).
         self.on_expire: Optional[Callable[[Lease], None]] = None
+        #: Called as ``on_teardown(lease)`` at the *start* of teardown,
+        #: while the cluster's VMs still exist — the spot subsystem uses
+        #: it to retire market enrollments before the VMs terminate.
+        self.on_teardown: Optional[Callable[[Lease], None]] = None
         #: Called as ``charge(tenant_name, node_seconds)`` at teardown.
         self.charge: Optional[Callable[[str, float], None]] = None
         self.expired_count = 0
@@ -152,6 +156,8 @@ class LeaseManager:
         return lease.cost
 
     def _teardown(self, lease: Lease, final_state: LeaseState) -> None:
+        if self.on_teardown is not None:
+            self.on_teardown(lease)
         fed = self.federation
         node_seconds = 0.0
         for vm in list(lease.cluster.vms):

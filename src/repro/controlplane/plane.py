@@ -20,6 +20,7 @@ from .jobs import Job, JobState, Tenant
 from .lease import LeaseManager
 from .queue import JobQueue
 from .scheduler import FairShareScheduler, SchedulerConfig
+from .spot import SpotCapacityManager, SpotPolicy
 
 
 class ControlPlane:
@@ -39,7 +40,13 @@ class ControlPlane:
         Health-check and lease-expiry sweep periods.
     spot_markets:
         Optional ``{cloud_name: SpotMarket}`` consulted for placement
-        pricing.
+        pricing (and, with ``spot_policy``, for backing leases).
+    spot_policy:
+        Optional :class:`~repro.controlplane.spot.SpotPolicy`; together
+        with ``spot_markets`` it enables the spot capacity subsystem —
+        leases are backed by bid-priced spot enrollments and every
+        reclamation is answered by rescue, checkpoint-restart, or
+        requeue-with-progress (see :mod:`repro.controlplane.spot`).
     tracer:
         Optional :class:`~repro.obs.Tracer`; when given it is installed
         on the simulator, so every job gets an
@@ -51,6 +58,7 @@ class ControlPlane:
                  config: Optional[SchedulerConfig] = None,
                  metrics: Optional[MetricsRecorder] = None,
                  spot_markets: Optional[Dict[str, object]] = None,
+                 spot_policy: Optional[SpotPolicy] = None,
                  heal_policy: str = "replace",
                  health_interval: float = 30.0,
                  sweep_interval: float = 30.0,
@@ -78,6 +86,12 @@ class ControlPlane:
             sim, federation, self.leases, self.scheduler,
             interval=health_interval, policy=heal_policy,
             metrics=self.metrics)
+        self.spot: Optional[SpotCapacityManager] = None
+        if spot_policy is not None and spot_markets:
+            self.spot = SpotCapacityManager(
+                sim, federation, spot_markets, self.leases,
+                self.scheduler, policy=spot_policy, metrics=self.metrics)
+            self.scheduler.spot = self.spot
         self._started = False
 
     # -- lifecycle -------------------------------------------------------
@@ -137,6 +151,7 @@ class ControlPlane:
             "mean_wait": (sum(waits) / len(waits)) if waits else 0.0,
             "usage_by_tenant": {t.name: t.usage
                                 for t in self.queue.tenants.values()},
+            **({"spot": self.spot.summary()} if self.spot else {}),
         }
 
     def __repr__(self):

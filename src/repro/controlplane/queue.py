@@ -118,15 +118,24 @@ class JobQueue:
         self._enqueue(job)
         return job
 
-    def resubmit(self, job: Job) -> Job:
-        """Requeue a previously running job (self-healing path): no
-        admission re-check, original submission time kept for ordering."""
-        job.work_remaining = job.total_work
+    def resubmit(self, job: Job, keep_progress: bool = True) -> Job:
+        """Requeue a previously running job (self-healing, preemption,
+        spot reclamation): no admission re-check, original submission
+        time kept for ordering.
+
+        By default the job keeps its completed node-seconds
+        (``job.progress``) and resumes from where it stopped — job-level
+        checkpointing.  Pass ``keep_progress=False`` for the old
+        restart-from-scratch semantics (workloads whose partial state
+        cannot be recovered)."""
+        if not keep_progress:
+            job.work_remaining = job.total_work
         self._enqueue(job)
         return job
 
     def _enqueue(self, job: Job) -> None:
         job.state = JobState.QUEUED
+        job.queued_at = self.sim.now
         job._queued_span = tracer_of(self.sim).start("queued",
                                                      parent=job.span)
         # Sort key: priority descending, then submission order (job.id
@@ -162,6 +171,24 @@ class JobQueue:
         if not q:
             raise LookupError(f"tenant {tenant!r} has no queued jobs")
         job = q.pop(0)
+        job._queued_span.end()
+        if self.metrics is not None:
+            self.metrics.record("queue.depth", self.depth())
+        return job
+
+    def queued_jobs(self, tenant: str) -> List[Job]:
+        """This tenant's queue in dispatch order (read-only view for
+        backfill scans)."""
+        return list(self._queues.get(tenant, ()))
+
+    def take(self, job: Job) -> Job:
+        """Remove a specific queued job (backfill picks below the
+        head); raises :class:`LookupError` if it is not queued."""
+        q = self._queues.get(job.tenant, [])
+        try:
+            q.remove(job)
+        except ValueError:
+            raise LookupError(f"{job.name!r} is not queued") from None
         job._queued_span.end()
         if self.metrics is not None:
             self.metrics.record("queue.depth", self.depth())

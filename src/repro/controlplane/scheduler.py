@@ -55,6 +55,13 @@ class SchedulerConfig:
     max_attempts: int = 5
     #: Enable grow/shrink of malleable jobs with queue pressure.
     elastic: bool = True
+    #: EASY backfill: when the most-underserved head job cannot start,
+    #: run smaller queued jobs that will not delay its reservation.
+    backfill: bool = True
+    #: Pessimism added to a backfill candidate's estimated runtime
+    #: (covers boot + image propagation) before comparing against the
+    #: blocked head's shadow time.
+    backfill_slack: float = 30.0
 
 
 class _FixedAllocation:
@@ -91,11 +98,16 @@ class FairShareScheduler:
         #: Nodes promised to in-flight provisions, per tenant (so node
         #: quotas hold before the lease materializes).
         self._tenant_inflight: Dict[str, int] = {}
+        #: Spot capacity subsystem, when the control plane enables it
+        #: (:class:`~repro.controlplane.spot.SpotCapacityManager`).
+        self.spot = None
         self.jobs_completed = 0
         self.jobs_requeued = 0
         self.jobs_failed = 0
         self.grows = 0
         self.shrinks = 0
+        self.backfills = 0
+        self.preemptions = 0
         self._loop: Optional[Process] = None
         self._running = False
         # Expired leases with a live job come back through the queue.
@@ -203,26 +215,176 @@ class FairShareScheduler:
         progressed = True
         while progressed and self.queue.depth() > 0:
             progressed = False
+            starved_head: Optional[Job] = None
             for tenant in self._ranked_tenants():
                 job = self.queue.peek(tenant.name)
                 allocation = self._allocate(job)
                 if allocation is None:
+                    # Capacity-blocked: the most underserved such head
+                    # drives preemption and the backfill reservation.
+                    if starved_head is None:
+                        starved_head = job
                     continue
-                n = sum(allocation.values())
-                if not self._within_tenant_quota(job, n):
+                if not self._within_tenant_quota(job, sum(allocation.values())):
                     continue
-                self.queue.pop(tenant.name)
-                for name, count in allocation.items():
-                    self._committed[name] += count
-                self._tenant_inflight[job.tenant] = (
-                    self._tenant_inflight.get(job.tenant, 0) + n)
-                tenant.reserved += job.total_work
-                job._runner = self.sim.process(
-                    self._run_job(job, allocation),
-                    name=f"run-{job.name}",
-                )
+                self._dispatch(job, allocation)
                 progressed = True
                 break  # re-rank: the grant changed effective usage
+            if progressed or starved_head is None:
+                continue
+            if self._starved(starved_head) and self._preempt_for(starved_head):
+                progressed = True
+                continue
+            if self.config.backfill and self._backfill(starved_head):
+                progressed = True
+
+    def _dispatch(self, job: Job, allocation: Dict[str, int]) -> None:
+        n = sum(allocation.values())
+        self.queue.take(job)
+        for name, count in allocation.items():
+            self._committed[name] += count
+        self._tenant_inflight[job.tenant] = (
+            self._tenant_inflight.get(job.tenant, 0) + n)
+        # Reserve the *remaining* work: a requeued job's progress credit
+        # must not count against its tenant's fair share twice.
+        job._reserved_work = job.work_remaining
+        self.queue.tenants[job.tenant].reserved += job._reserved_work
+        job._runner = self.sim.process(
+            self._run_job(job, allocation),
+            name=f"run-{job.name}",
+        )
+
+    def _unreserve(self, job: Job) -> None:
+        """Return the job's dispatched reservation to its tenant."""
+        self.queue.tenants[job.tenant].reserved -= job._reserved_work
+        job._reserved_work = 0.0
+
+    # -- EASY backfill ---------------------------------------------------
+
+    def _release_schedule(self) -> List[tuple]:
+        """Estimated ``(time, nodes)`` releases of active leases,
+        soonest first: a running job frees its nodes when its remaining
+        work drains at the current cluster size; anything else frees
+        them at lease expiry (the sweeper's backstop)."""
+        out = []
+        for lease in self.leases.active_leases():
+            n = len(lease.cluster.vms)
+            if n == 0:
+                continue
+            job = lease.job
+            if job is not None and job.state is JobState.RUNNING:
+                est = self.sim.now + job.work_remaining / n
+            else:
+                est = lease.expires_at
+            out.append((est, n))
+        out.sort()
+        return out
+
+    def _backfill(self, head: Job) -> bool:
+        """EASY backfill bounded by the blocked head's reservation.
+
+        The head gets a *shadow time*: the earliest instant the release
+        schedule accumulates its ``min_nodes``.  A smaller queued job
+        may start now only if it either finishes (plus slack) before the
+        shadow time, or fits in the nodes the head will leave spare —
+        so backfilling never delays the reservation it jumped."""
+        free = sum(self._available(c)
+                   for c in self.federation.clouds.values())
+        target = head.min_nodes
+        shadow = self.sim.now
+        pool = free
+        for est, n in self._release_schedule():
+            if pool >= target:
+                break
+            pool += n
+            shadow = est
+        if pool < target:
+            # Even a full drain cannot seat the head (it is waiting on
+            # in-flight provisions/growth): nothing to protect yet.
+            shadow = float("inf")
+        spare = pool - target
+        for tenant in self._ranked_tenants():
+            for job in self.queue.queued_jobs(tenant.name):
+                if job is head:
+                    continue
+                allocation = self._allocate(job)
+                if allocation is None:
+                    continue
+                k = sum(allocation.values())
+                if not self._within_tenant_quota(job, k):
+                    continue
+                est_end = (self.sim.now + job.work_remaining / k
+                           + self.config.backfill_slack)
+                if est_end > shadow and k > spare:
+                    continue  # would delay the head's reservation
+                self._dispatch(job, allocation)
+                self.backfills += 1
+                job.span.event("backfilled", ahead_of=head.name)
+                if self.metrics is not None:
+                    self.metrics.record("jobs.backfilled", self.backfills)
+                return True
+        return False
+
+    # -- starvation preemption -------------------------------------------
+
+    def _starved(self, job: Job) -> bool:
+        """Head job blocked long enough to justify preempting for it.
+
+        Waiting is counted from the job's *last* queue entry: a job the
+        scheduler itself just requeued (preemption, reclamation) must
+        wait out the patience again rather than instantly re-triggering
+        preemption — otherwise a saturated queue preempts every round
+        and jobs ping-pong until they exhaust ``max_attempts``."""
+        if self.spot is None or not self.spot.policy.preemption:
+            return False
+        since = job.queued_at if job.queued_at is not None else job.submitted_at
+        if since is None:
+            return False
+        return self.sim.now - since > self.spot.policy.starvation_patience
+
+    def _preempt_for(self, head: Job) -> bool:
+        """Reclaim spot-backed leases from materially better-served
+        tenants until the starving ``head`` fits, reusing the spot
+        subsystem's requeue-with-progress path.  Preempts at most one
+        round's worth; returns True if any lease was reclaimed.
+
+        A victim tenant must exceed the starved tenant's share by the
+        policy's ``preemption_imbalance`` factor: under steady
+        contention fair-share keeps shares within epsilon of each
+        other, and preempting over epsilon differences just trades
+        places every round."""
+        starved_tenant = self.queue.tenants[head.tenant]
+        starved_share = (self.effective_usage(starved_tenant)
+                         / starved_tenant.weight)
+        floor = starved_share * self.spot.policy.preemption_imbalance
+
+        def share_of(name: str) -> float:
+            t = self.queue.tenants[name]
+            return self.effective_usage(t) / t.weight
+
+        victims = [
+            l for l in self.spot.preemptible_leases()
+            if l.tenant != head.tenant
+            and l.job is not None and l.job.state is JobState.RUNNING
+            and share_of(l.tenant) > floor
+        ]
+        if not victims:
+            return False
+        # Take from the most over-served tenants, newest leases first
+        # (their jobs have the least sunk progress).
+        victims.sort(key=lambda l: (-share_of(l.tenant), -l.id))
+        free = sum(self._available(c)
+                   for c in self.federation.clouds.values())
+        needed = head.min_nodes - free
+        reclaimed = 0
+        for lease in victims:
+            if reclaimed >= needed:
+                break
+            reclaimed += self.spot.preempt(lease, reason="fair-share")
+            self.preemptions += 1
+            if self.metrics is not None:
+                self.metrics.record("jobs.preempted", self.preemptions)
+        return reclaimed > 0
 
     def _run_job(self, job: Job, allocation: Dict[str, int]):
         cfg = self.config
@@ -238,7 +400,7 @@ class FairShareScheduler:
         except (CloudError, PlacementError, FederationError):
             # Lost a provisioning race; back in the queue untouched.
             pspan.end(status="error")
-            self.queue.tenants[job.tenant].reserved -= job.total_work
+            self._unreserve(job)
             self.queue.resubmit(job)
             return
         finally:
@@ -252,6 +414,8 @@ class FairShareScheduler:
         job.state = JobState.RUNNING
         job.attempts += 1
         job.span.event("lease-granted", lease=lease.id, nodes=n)
+        if self.spot is not None:
+            self.spot.back_lease(lease, job, allocation)
         if job.started_at is None:
             job.started_at = self.sim.now
             if self.metrics is not None:
@@ -275,7 +439,7 @@ class FairShareScheduler:
         job._runner = None
         job.state = JobState.COMPLETED
         job.finished_at = self.sim.now
-        self.queue.tenants[job.tenant].reserved -= job.total_work
+        self._unreserve(job)
         self.queue.tenants[job.tenant].jobs_completed += 1
         self.jobs_completed += 1
         if lease.active:
@@ -291,8 +455,9 @@ class FairShareScheduler:
 
     def requeue(self, lease: Lease, reason: str = "requeue") -> None:
         """Pull a lease's job back into the queue (failed VM, drain,
-        expiry).  Releases the lease if still active; the job restarts
-        from scratch unless it exhausted ``max_attempts``."""
+        expiry, spot reclamation, preemption).  Releases the lease if
+        still active; the job keeps its completed node-seconds and
+        resumes from them unless it exhausted ``max_attempts``."""
         job = lease.job
         if job is None or job.state is not JobState.RUNNING:
             if lease.active:
@@ -303,7 +468,7 @@ class FairShareScheduler:
                 and runner is not self.sim.active_process):
             runner.interrupt(reason)
         job._runner = None
-        self.queue.tenants[job.tenant].reserved -= job.total_work
+        self._unreserve(job)
         if lease.active:
             self.leases.release(lease)
         if job.attempts >= self.config.max_attempts:
@@ -315,7 +480,8 @@ class FairShareScheduler:
             job.span.set(attempts=job.attempts).end(status="failed")
             job.done.succeed(job)
             return
-        job.span.event("requeued", reason=reason)
+        job.span.event("requeued", reason=reason,
+                       progress=round(job.progress, 3))
         self.jobs_requeued += 1
         if self.metrics is not None:
             self.metrics.record("jobs.requeued", self.jobs_requeued)

@@ -33,7 +33,7 @@ from ..network.flows import FlowScheduler
 from ..network.transport import Transport
 from ..obs.trace import tracer_of
 from ..simkernel import Process, Simulator
-from .host import PhysicalHost
+from .host import CapacityError, PhysicalHost
 from .vm import VirtualMachine, VMState
 
 
@@ -329,8 +329,23 @@ class LiveMigrator:
             aspan.end()
 
         # -- switch-over ---------------------------------------------------
-        vm.host.evict(vm)
-        dst_host.place(vm)
+        src_host = vm.host
+        src_host.evict(vm)
+        try:
+            dst_host.place(vm)
+        except CapacityError as exc:
+            # Destination filled while the transfer ran (placement races
+            # with concurrent provisioning).  Roll back onto the source
+            # slot we just vacated and let callers see a failed migration
+            # instead of a homeless paused VM.
+            src_host.place(vm)
+            if was_paused:
+                vm.state = VMState.PAUSED
+            else:
+                vm.resume()
+            mspan.set(rounds=stats.rounds).end(status="error")
+            raise MigrationError(
+                f"switch-over failed: {exc}") from exc
         stats.downtime = self.sim.now - pause_at
         stats.finished_at = self.sim.now
         mspan.set(rounds=stats.rounds, downtime=stats.downtime,

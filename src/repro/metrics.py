@@ -35,6 +35,7 @@ from .obs.instruments import (
     Gauge,
     Histogram,
     Instrument,
+    Timer,
     _interpolated_percentile,
 )
 from .simkernel import Interrupt, Simulator
@@ -218,6 +219,11 @@ class MetricsRecorder:
         """Get (or create) a :class:`~repro.obs.Histogram` streaming
         each observation into series ``name``."""
         return self._instrument(name, Histogram)
+
+    def timer(self, name: str) -> Timer:
+        """Get (or create) a :class:`~repro.obs.Timer` streaming each
+        timed duration into series ``name``."""
+        return self._instrument(name, Timer)
 
     def names(self) -> List[str]:
         return sorted(self._series)

@@ -30,7 +30,7 @@ from .export import (
     spans_to_jsonl,
     to_chrome_trace,
 )
-from .instruments import Counter, Gauge, Histogram
+from .instruments import Counter, Gauge, Histogram, Timer
 from .trace import (
     NULL_SPAN,
     NULL_TRACER,
@@ -52,6 +52,7 @@ __all__ = [
     "Segment",
     "Span",
     "SpanContext",
+    "Timer",
     "Tracer",
     "critical_path",
     "dump_chrome_trace",

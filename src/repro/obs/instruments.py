@@ -144,3 +144,47 @@ class Histogram(Instrument):
         """The q-th percentile (linear interpolation between ranks),
         e.g. ``percentile(50)`` is the median."""
         return _interpolated_percentile(sorted(self._values), q)
+
+
+class Timer(Histogram):
+    """A histogram of simulation-time durations.
+
+    ``timer.time(sim)`` opens a context manager that observes the
+    elapsed simulated time on exit — the shape bid/reclaim/rescue
+    instrumentation wants::
+
+        with rescue_timer.time(sim):
+            yield service.migrate_vm(vm, dst)
+    """
+
+    __slots__ = ()
+
+    class _Running:
+        __slots__ = ("_timer", "_sim", "_started")
+
+        def __init__(self, timer: "Timer", sim):
+            self._timer = timer
+            self._sim = sim
+            self._started = sim.now
+
+        @property
+        def elapsed(self) -> float:
+            return self._sim.now - self._started
+
+        def stop(self) -> float:
+            """Observe and return the elapsed duration."""
+            elapsed = self.elapsed
+            self._timer.observe(elapsed)
+            return elapsed
+
+        def __enter__(self) -> "Timer._Running":
+            return self
+
+        def __exit__(self, exc_type, exc, tb) -> bool:
+            self.stop()
+            return False
+
+    def time(self, sim) -> "Timer._Running":
+        """Start timing at ``sim.now``; stop() or context-exit records
+        the duration."""
+        return Timer._Running(self, sim)

@@ -70,6 +70,14 @@ class CheckpointingSpotManager:
         self.federation.sim.process(self._checkpoint_loop(vm),
                                     name=f"ckpt-{vm.name}")
 
+    def unprotect(self, vm_name: str) -> None:
+        """Stop checkpointing ``vm_name`` (idempotent); its snapshot
+        loop exits at the next cycle and no new checkpoints are taken."""
+        self._protected.pop(vm_name, None)
+
+    def protected(self, vm_name: str) -> bool:
+        return vm_name in self._protected
+
     def _state_bytes(self, vm: VirtualMachine) -> float:
         state = vm.memory.size_bytes
         if vm.disk is not None:

@@ -19,12 +19,13 @@ The :class:`MigratableSpotManager` installs itself as a spot market's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
-from ..cloud.provider import Cloud
+from ..cloud.provider import Cloud, CloudError
 from ..cloud.spot import SpotInstance, SpotMarket
-from ..hypervisor.migration import MigrationConfig
-from .federation import Federation
+from ..hypervisor.host import CapacityError
+from ..hypervisor.migration import MigrationConfig, MigrationError
+from .federation import Federation, FederationError
 from .migration_api import SkyMigrationService
 
 
@@ -55,18 +56,44 @@ class MigratableSpotManager:
 
     def attach(self, market: SpotMarket) -> None:
         """Install this manager as the market's reclamation handler."""
-        market.reclaim_handler = lambda inst: self._handle(market, inst)
+        market.reclaim_handler = lambda inst: self.rescue(market, inst)
+
+    def rescue(self, market: SpotMarket, inst: SpotInstance,
+               exclude: Iterable[str] = ()):
+        """Attempt an escape migration for one reclamation warning
+        (process; yields True on success).  ``exclude`` names extra
+        clouds to rule out as destinations (e.g. ones whose own markets
+        are mid-reclamation)."""
+        return self.federation.sim.process(
+            self._rescue(market, inst, frozenset(exclude)),
+            name=f"rescue-{inst.vm.name}",
+        )
+
+    def feasible(self, inst: SpotInstance, grace: float,
+                 exclude: Iterable[str] = ()) -> bool:
+        """Would a rescue be attempted right now?  True when a
+        destination exists and the estimated migration fits the grace
+        window with the safety margin."""
+        dst = self._pick_destination(inst, frozenset(exclude))
+        if dst is None:
+            return False
+        return (self._estimate_duration(inst, dst)
+                <= self.safety_factor * grace)
 
     # -- internals ---------------------------------------------------------
 
-    def _pick_destination(self, inst: SpotInstance) -> Optional[Cloud]:
+    def _pick_destination(self, inst: SpotInstance,
+                          exclude: frozenset = frozenset()
+                          ) -> Optional[Cloud]:
         candidates = [
             c for c in self.federation.clouds.values()
-            if c is not inst.cloud and c.capacity() >= 1
+            if c is not inst.cloud and c.name not in exclude
+            and c.capacity() >= 1
         ]
         if not candidates:
             return None
-        return min(candidates, key=lambda c: c.pricing.on_demand_hourly)
+        return min(candidates,
+                   key=lambda c: (c.pricing.on_demand_hourly, c.name))
 
     def _estimate_duration(self, inst: SpotInstance, dst: Cloud) -> float:
         """Optimistic single-pass estimate: authentication handshake plus
@@ -81,14 +108,9 @@ class MigratableSpotManager:
         auth = self.service.crypto_handshake_time + 4 * latency
         return auth + state / bandwidth
 
-    def _handle(self, market: SpotMarket, inst: SpotInstance):
-        return self.federation.sim.process(
-            self._rescue(market, inst),
-            name=f"rescue-{inst.vm.name}",
-        )
-
-    def _rescue(self, market: SpotMarket, inst: SpotInstance):
-        dst = self._pick_destination(inst)
+    def _rescue(self, market: SpotMarket, inst: SpotInstance,
+                exclude: frozenset):
+        dst = self._pick_destination(inst, exclude)
         record = RescueRecord(
             vm_name=inst.vm.name,
             from_cloud=inst.cloud.name,
@@ -107,7 +129,10 @@ class MigratableSpotManager:
         # Storage must move: CoW overlays are small, so this fits the
         # grace window when the base image exists at the destination.
         config = MigrationConfig(migrate_storage=True)
-        result = yield self.service.migrate_vm(inst.vm, dst.name, config)
+        try:
+            yield self.service.migrate_vm(inst.vm, dst.name, config)
+        except (MigrationError, FederationError, CloudError, CapacityError):
+            return False  # lost the race (capacity, concurrent teardown)
         record.migration_duration = self.federation.sim.now - started
         record.succeeded = True
         return True
