@@ -9,6 +9,7 @@ from .monitor import (
     AvailabilityMonitor,
     DeadlineMonitor,
     PriceMonitor,
+    SLOMonitor,
     TriggerBus,
 )
 from .policy import AutonomicController, CostAwarePolicy
@@ -34,6 +35,7 @@ __all__ = [
     "DeadlineMonitor",
     "PlanningError",
     "PriceMonitor",
+    "SLOMonitor",
     "TriggerBus",
     "cross_traffic",
     "random_assignment",

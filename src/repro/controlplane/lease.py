@@ -120,6 +120,9 @@ class LeaseManager:
                 self.expired_count += 1
                 if self.metrics is not None:
                     self.metrics.record("lease.expired", self.expired_count)
+                    self.metrics.counter(
+                        "lease.expirations",
+                        labels={"tenant": lease.tenant}).inc()
                 if self.on_expire is not None:
                     self.on_expire(lease)
             if self.metrics is not None:

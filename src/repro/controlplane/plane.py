@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
-from ..metrics import MetricsRecorder
+from ..metrics import MetricsRecorder, recorder_of
 from ..obs.trace import tracer_of
 from ..simkernel import Event, Simulator
 from ..sky.federation import Federation
@@ -67,6 +67,10 @@ class ControlPlane:
         self.federation = federation
         self.image_name = image_name
         self.metrics = metrics if metrics is not None else MetricsRecorder(sim)
+        if recorder_of(sim) is None:
+            # Layers without a recorder reference (hypervisor
+            # migrations, transport) discover this one via recorder_of.
+            self.metrics.install()
         if tracer is not None:
             tracer.install()
         self.tracer = tracer if tracer is not None else tracer_of(sim)

@@ -384,6 +384,8 @@ class FairShareScheduler:
             self.preemptions += 1
             if self.metrics is not None:
                 self.metrics.record("jobs.preempted", self.preemptions)
+                self.metrics.counter(
+                    "preemptions", labels={"tenant": lease.tenant}).inc()
         return reclaimed > 0
 
     def _run_job(self, job: Job, allocation: Dict[str, int]):
@@ -420,6 +422,9 @@ class FairShareScheduler:
             job.started_at = self.sim.now
             if self.metrics is not None:
                 self.metrics.record("queue.wait", job.wait_time)
+                self.metrics.histogram(
+                    "queue.wait",
+                    labels={"tenant": job.tenant}).observe(job.wait_time)
 
         rspan = tracer.start("run", parent=job.span, attempt=job.attempts)
         try:

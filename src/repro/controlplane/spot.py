@@ -274,6 +274,11 @@ class SpotCapacityManager:
             backing.span = span
         if self.metrics is not None:
             self.metrics.counter("spot.reclaim_warnings").inc()
+            if backing is not None:
+                self.metrics.counter(
+                    "spot.reclaims",
+                    labels={"tenant": backing.tenant,
+                            "cloud": market.cloud.name}).inc()
         if (self.policy.rescue
                 and self.rescuer.feasible(inst, market.reclaim_grace,
                                           exclude=exclude)):
@@ -490,6 +495,14 @@ class SpotCapacityManager:
             cloud=inst.cloud.name,
             tenant=backing.tenant if backing else None,
             outcome=outcome, detail=detail))
+        # Terminal reclamation outcomes feed the rescue-rate SLO: how
+        # many episodes ended a backing, and how many of those were
+        # saved in place ("survived"/"closed" are not reclamations).
+        if (self.metrics is not None and backing is not None
+                and outcome in ("rescued", "checkpointed", "requeued")):
+            self.metrics.counter("spot.episodes.resolved").inc()
+            if outcome == "rescued":
+                self.metrics.counter("spot.episodes.rescued").inc()
 
     @property
     def savings_total(self) -> float:

@@ -29,6 +29,7 @@ from typing import List, Optional, Protocol
 
 import numpy as np
 
+from ..metrics import recorder_of
 from ..network.flows import FlowScheduler
 from ..network.transport import Transport
 from ..obs.trace import tracer_of
@@ -350,6 +351,13 @@ class LiveMigrator:
         stats.finished_at = self.sim.now
         mspan.set(rounds=stats.rounds, downtime=stats.downtime,
                   wire_bytes=stats.wire_bytes).end()
+        rec = recorder_of(self.sim)
+        if rec is not None:
+            rec.histogram("migration.downtime").observe(stats.downtime)
+            rec.histogram("migration.rounds").observe(stats.rounds)
+            rec.histogram("migration.downtime",
+                          labels={"src": src_site,
+                                  "dst": dst_site}).observe(stats.downtime)
         if was_paused:
             vm.state = VMState.PAUSED
         else:

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from .network.flows import FlowScheduler
 from .network.topology import DirectedLink
@@ -37,8 +37,20 @@ from .obs.instruments import (
     Instrument,
     Timer,
     _interpolated_percentile,
+    failed_name,
+    labeled_name,
 )
 from .simkernel import Interrupt, Simulator
+
+
+def recorder_of(sim: Simulator) -> Optional["MetricsRecorder"]:
+    """The recorder installed on ``sim`` via
+    :meth:`MetricsRecorder.install`, or ``None``.
+
+    The discovery idiom mirrors ``tracer_of``: layers that *may* be
+    observed (hypervisor, transport) look the recorder up through the
+    simulator instead of threading it through every constructor."""
+    return getattr(sim, "_metrics", None)
 
 
 class TimeSeries:
@@ -147,6 +159,16 @@ class Probe:
             pending.deschedule()
             self.process.interrupt("probe-stopped")
 
+    def restart(self) -> None:
+        """Resume sampling after :meth:`stop` on the same cadence; the
+        first post-restart sample lands one ``interval`` from now.
+        No-op while already active."""
+        if self.active:
+            return
+        self.active = True
+        self.process = self.sim.process(
+            self._run(), name=f"probe-{self.series.name}")
+
     def _run(self):
         try:
             while self.active:
@@ -169,12 +191,23 @@ class MetricsRecorder:
         self._probes: List[Probe] = []
         self._instruments: Dict[str, Instrument] = {}
 
+    def install(self) -> "MetricsRecorder":
+        """Attach this recorder to the simulator so layers without a
+        direct reference find it via :func:`recorder_of`."""
+        self.sim._metrics = self
+        return self
+
     def series(self, name: str) -> TimeSeries:
         """Get (or create) a series."""
         ts = self._series.get(name)
         if ts is None:
             ts = self._series[name] = TimeSeries(name)
         return ts
+
+    def get(self, name: str) -> Optional[TimeSeries]:
+        """The named series, or ``None`` — never creates (the read-side
+        counterpart of :meth:`series` for SLO/rollup consumers)."""
+        return self._series.get(name)
 
     def record(self, name: str, value) -> None:
         """Record a sample at the current simulation time."""
@@ -193,11 +226,11 @@ class MetricsRecorder:
 
     # -- typed instruments ----------------------------------------------
 
-    def _instrument(self, name: str, cls):
+    def _instrument(self, name: str, cls, **kwargs):
         inst = self._instruments.get(name)
         if inst is None:
             inst = self._instruments[name] = cls(
-                name, sink=lambda value: self.record(name, value))
+                name, sink=lambda value: self.record(name, value), **kwargs)
         elif not isinstance(inst, cls):
             raise TypeError(
                 f"{name!r} is already a {type(inst).__name__}, "
@@ -205,25 +238,42 @@ class MetricsRecorder:
             )
         return inst
 
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str,
+                labels: Optional[Mapping[str, object]] = None) -> Counter:
         """Get (or create) a :class:`~repro.obs.Counter` streaming its
-        running total into series ``name``."""
-        return self._instrument(name, Counter)
+        running total into series ``name`` (label-qualified when
+        ``labels`` is given, e.g. ``spot.reclaims{cloud=e,tenant=a}``)."""
+        return self._instrument(labeled_name(name, labels), Counter)
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str,
+              labels: Optional[Mapping[str, object]] = None) -> Gauge:
         """Get (or create) a :class:`~repro.obs.Gauge` streaming its
         value into series ``name``."""
-        return self._instrument(name, Gauge)
+        return self._instrument(labeled_name(name, labels), Gauge)
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str,
+                  labels: Optional[Mapping[str, object]] = None,
+                  max_samples: Optional[int] = None) -> Histogram:
         """Get (or create) a :class:`~repro.obs.Histogram` streaming
-        each observation into series ``name``."""
-        return self._instrument(name, Histogram)
+        each observation into series ``name``.  ``max_samples`` (first
+        creation only) bounds the in-instrument window."""
+        return self._instrument(labeled_name(name, labels), Histogram,
+                                max_samples=max_samples)
 
-    def timer(self, name: str) -> Timer:
+    def timer(self, name: str,
+              labels: Optional[Mapping[str, object]] = None,
+              max_samples: Optional[int] = None,
+              record_failures: bool = True) -> Timer:
         """Get (or create) a :class:`~repro.obs.Timer` streaming each
-        timed duration into series ``name``."""
-        return self._instrument(name, Timer)
+        successful duration into series ``name`` and failed-block
+        durations into ``<name>.failed`` (unless
+        ``record_failures=False``; creation-time options only)."""
+        qualified = labeled_name(name, labels)
+        failure_series = failed_name(qualified)
+        return self._instrument(
+            qualified, Timer, max_samples=max_samples,
+            record_failures=record_failures,
+            fail_sink=lambda value: self.record(failure_series, value))
 
     def names(self) -> List[str]:
         return sorted(self._series)
@@ -241,10 +291,19 @@ class MetricsRecorder:
             for name, ts in sorted(self._series.items())
         }
 
+    def _existing(self, name: str) -> TimeSeries:
+        """Lookup that refuses to create: exporters must not mint empty
+        series out of typos."""
+        ts = self._series.get(name)
+        if ts is None:
+            raise KeyError(f"no series named {name!r}")
+        return ts
+
     def to_csv(self, name: str) -> str:
         """One series as ``time,value`` CSV text (values containing
-        commas or quotes are escaped per RFC 4180)."""
-        ts = self.series(name)
+        commas or quotes are escaped per RFC 4180).  Raises
+        :class:`KeyError` for unknown names."""
+        ts = self._existing(name)
         buf = io.StringIO()
         writer = csv.writer(buf, lineterminator="\n")
         writer.writerow(["time", "value"])
@@ -254,14 +313,18 @@ class MetricsRecorder:
     def dump_csv(self, path, names: Optional[List[str]] = None) -> int:
         """Write series (default: all) to ``path`` as long-format
         ``series,time,value`` CSV (UTF-8; series names containing
-        commas are quoted); returns the number of rows written."""
+        commas are quoted); returns the number of rows written.
+        Raises :class:`KeyError` if any requested name is unknown
+        (checked up front — nothing is written on a typo)."""
         selected = names if names is not None else self.names()
+        series = [self._existing(name) for name in selected]
         rows = 0
         with open(path, "w", encoding="utf-8", newline="") as fh:
             writer = csv.writer(fh, lineterminator="\n")
             writer.writerow(["series", "time", "value"])
-            for name in selected:
-                for t, v in self.series(name).samples:
+            for ts in series:
+                name = ts.name
+                for t, v in ts.samples:
                     writer.writerow([name, t, v])
                     rows += 1
         return rows

@@ -268,6 +268,18 @@ class Transport:
         cls = self.classify(record)
         self.bytes_by_class[cls] += record.size
         self.transfers_by_class[cls] += 1
+        # Per-class achieved throughput for the watchtower's SLO floors.
+        # The recorder is discovered through the simulator (attribute
+        # lookup, None when no recorder is installed) rather than an
+        # import: repro.metrics imports this package at module level.
+        rec = getattr(self.sim, "_metrics", None)
+        if rec is not None:
+            duration = record.finished_at - record.started_at
+            if duration > 0 and record.size > 0:
+                rec.histogram(
+                    "transport.throughput",
+                    labels={"class": cls.value},
+                ).observe(record.size / duration)
         if self.taps:
             transfer = TransferRecord(cls, record)
             for tap in self.taps:

@@ -23,6 +23,7 @@ Quick use::
 """
 
 from .critical_path import CriticalPathReport, Segment, critical_path
+from .dashboard import dashboard_payload, dump_dashboard, render_html
 from .export import (
     dump_chrome_trace,
     dump_jsonl,
@@ -30,7 +31,16 @@ from .export import (
     spans_to_jsonl,
     to_chrome_trace,
 )
-from .instruments import Counter, Gauge, Histogram, Timer
+from .instruments import (
+    Counter,
+    Gauge,
+    Histogram,
+    Timer,
+    labeled_name,
+    split_labeled_name,
+)
+from .rollup import SeriesStats, health_rollups, rollup, series_stats
+from .slo import Alert, AlertState, BurnRatePolicy, Objective, SLOEngine
 from .trace import (
     NULL_SPAN,
     NULL_TRACER,
@@ -40,25 +50,44 @@ from .trace import (
     Tracer,
     tracer_of,
 )
+from .windows import CounterWindow, P2Quantile, SlidingWindow, TimeWindow
 
 __all__ = [
+    "Alert",
+    "AlertState",
+    "BurnRatePolicy",
     "Counter",
+    "CounterWindow",
     "CriticalPathReport",
     "Gauge",
     "Histogram",
     "NULL_SPAN",
     "NULL_TRACER",
     "NullTracer",
+    "Objective",
+    "P2Quantile",
     "Segment",
+    "SeriesStats",
+    "SLOEngine",
+    "SlidingWindow",
     "Span",
     "SpanContext",
+    "TimeWindow",
     "Timer",
     "Tracer",
     "critical_path",
+    "dashboard_payload",
     "dump_chrome_trace",
+    "dump_dashboard",
     "dump_jsonl",
+    "health_rollups",
+    "labeled_name",
+    "render_html",
+    "rollup",
+    "series_stats",
     "span_to_dict",
     "spans_to_jsonl",
+    "split_labeled_name",
     "to_chrome_trace",
     "tracer_of",
 ]

@@ -14,31 +14,72 @@ Each instrument can stream its updates into a sink callable; the
 :class:`~repro.metrics.MetricsRecorder` factory methods
 (``counter``/``gauge``/``histogram``) wire that sink to a time series,
 so instruments and probes coexist in one registry.
+
+Labels
+------
+Instruments can carry **labels** — tag dimensions like
+``counter("spot.reclaims", labels={"tenant": "acme", "cloud": "east"})``.
+A labeled instrument is an ordinary instrument whose series name embeds
+the canonicalized label set: ``spot.reclaims{cloud=east,tenant=acme}``
+(keys sorted, values stringified).  :func:`labeled_name` builds that
+form and :func:`split_labeled_name` parses it back, which is what
+:mod:`repro.obs.rollup` uses to pivot series by tenant/cloud/cluster
+without a separate index.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from .windows import SlidingWindow, _interpolated_percentile
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "Instrument", "Timer",
+    "labeled_name", "split_labeled_name", "failed_name",
+    "_interpolated_percentile",
+]
 
 Sink = Optional[Callable[[float], None]]
 
 
-def _interpolated_percentile(data: List[float], q: float) -> float:
-    """Linear-interpolation percentile over a *sorted* list."""
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"percentile q={q} outside [0, 100]")
-    if not data:
-        raise ValueError("no observations")
-    if len(data) == 1:
-        return data[0]
-    pos = (q / 100.0) * (len(data) - 1)
-    lo = math.floor(pos)
-    hi = math.ceil(pos)
-    if lo == hi:
-        return data[lo]
-    frac = pos - lo
-    return data[lo] * (1.0 - frac) + data[hi] * frac
+def labeled_name(base: str, labels: Optional[Mapping[str, object]]) -> str:
+    """Canonical series name for ``base`` + ``labels``.
+
+    Keys are sorted so every call site producing the same label set hits
+    the same series; values are stringified.  ``labels=None`` / ``{}``
+    returns ``base`` unchanged.
+    """
+    if not labels:
+        return base
+    if "{" in base:
+        raise ValueError(f"base name {base!r} already carries labels")
+    body = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{base}{{{body}}}"
+
+
+def split_labeled_name(name: str) -> Tuple[str, Dict[str, str]]:
+    """Inverse of :func:`labeled_name`: ``(base, labels)``.
+
+    Unlabeled names come back with an empty dict.
+    """
+    if not name.endswith("}") or "{" not in name:
+        return name, {}
+    base, _, body = name[:-1].partition("{")
+    labels: Dict[str, str] = {}
+    for part in body.split(","):
+        key, sep, value = part.partition("=")
+        if not sep or not key:
+            return name, {}  # brace-bearing but not our label grammar
+        labels[key] = value
+    return base, labels
+
+
+def failed_name(name: str) -> str:
+    """The companion failure series for ``name``: ``.failed`` is
+    appended to the base so labels stay at the end
+    (``op{tenant=a}`` → ``op.failed{tenant=a}``)."""
+    base, labels = split_labeled_name(name)
+    return labeled_name(f"{base}.failed", labels)
 
 
 class Instrument:
@@ -105,45 +146,67 @@ class Gauge(Instrument):
 
 
 class Histogram(Instrument):
-    """A distribution of observations with summary statistics."""
+    """A distribution of observations with summary statistics.
 
-    __slots__ = ("_values",)
+    Observations live in a :class:`~repro.obs.windows.SlidingWindow`
+    whose sorted shadow makes ``percentile()`` an O(1) rank lookup —
+    the full history is *not* re-sorted per query.  ``max_samples``
+    bounds retention: once exceeded, the oldest observation is evicted
+    per new one (summary stats then describe the retained window; the
+    streamed series keeps the full record).
+    """
 
-    def __init__(self, name: str, sink: Sink = None):
+    __slots__ = ("_window",)
+
+    def __init__(self, name: str, sink: Sink = None,
+                 max_samples: Optional[int] = None):
         super().__init__(name, sink)
-        self._values: List[float] = []
+        self._window = SlidingWindow(maxlen=max_samples)
+
+    @property
+    def max_samples(self) -> Optional[int]:
+        return self._window.maxlen
 
     def observe(self, value: float) -> None:
-        self._values.append(float(value))
-        self._emit(float(value))
+        value = float(value)
+        self._window.observe(value)
+        self._emit(value)
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        return self._window.count
 
     @property
     def sum(self) -> float:
-        return sum(self._values)
+        return self._window.sum
+
+    @property
+    def _values(self) -> List[float]:
+        """Retained observations, arrival order (kept for callers that
+        peeked at the old list attribute)."""
+        return self._window.values()
 
     def mean(self) -> float:
-        if not self._values:
+        if not self._window.count:
             raise ValueError(f"histogram {self.name!r} has no observations")
-        return self.sum / len(self._values)
+        return self._window.mean()
 
     def minimum(self) -> float:
-        if not self._values:
+        if not self._window.count:
             raise ValueError(f"histogram {self.name!r} has no observations")
-        return min(self._values)
+        return self._window.minimum()
 
     def maximum(self) -> float:
-        if not self._values:
+        if not self._window.count:
             raise ValueError(f"histogram {self.name!r} has no observations")
-        return max(self._values)
+        return self._window.maximum()
 
     def percentile(self, q: float) -> float:
         """The q-th percentile (linear interpolation between ranks),
         e.g. ``percentile(50)`` is the median."""
-        return _interpolated_percentile(sorted(self._values), q)
+        if not self._window.count:
+            raise ValueError(f"histogram {self.name!r} has no observations")
+        return self._window.percentile(q)
 
 
 class Timer(Histogram):
@@ -155,17 +218,38 @@ class Timer(Histogram):
 
         with rescue_timer.time(sim):
             yield service.migrate_vm(vm, dst)
+
+    Failure handling: when the timed block raises, the duration is a
+    *failed-operation* latency and would skew the success histogram, so
+    it is routed to ``fail_sink`` (the recorder wires this to a
+    ``<name>.failed`` series) instead of being observed here.  Set
+    ``record_failures=False`` to drop failed durations entirely.  The
+    exception always propagates.
     """
 
-    __slots__ = ()
+    __slots__ = ("_fail_sink", "record_failures")
+
+    def __init__(self, name: str, sink: Sink = None,
+                 max_samples: Optional[int] = None,
+                 fail_sink: Sink = None, record_failures: bool = True):
+        super().__init__(name, sink, max_samples=max_samples)
+        self._fail_sink = fail_sink
+        self.record_failures = record_failures
+
+    def observe_failure(self, value: float) -> None:
+        """Record a failed-operation duration (separate stream; does not
+        enter this histogram's distribution)."""
+        if self.record_failures and self._fail_sink is not None:
+            self._fail_sink(float(value))
 
     class _Running:
-        __slots__ = ("_timer", "_sim", "_started")
+        __slots__ = ("_timer", "_sim", "_started", "_done")
 
         def __init__(self, timer: "Timer", sim):
             self._timer = timer
             self._sim = sim
             self._started = sim.now
+            self._done = False
 
         @property
         def elapsed(self) -> float:
@@ -174,6 +258,7 @@ class Timer(Histogram):
         def stop(self) -> float:
             """Observe and return the elapsed duration."""
             elapsed = self.elapsed
+            self._done = True
             self._timer.observe(elapsed)
             return elapsed
 
@@ -181,7 +266,13 @@ class Timer(Histogram):
             return self
 
         def __exit__(self, exc_type, exc, tb) -> bool:
-            self.stop()
+            if self._done:
+                return False
+            if exc_type is None:
+                self.stop()
+            else:
+                self._done = True
+                self._timer.observe_failure(self.elapsed)
             return False
 
     def time(self, sim) -> "Timer._Running":

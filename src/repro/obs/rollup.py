@@ -1,0 +1,120 @@
+"""Health rollups: pivot labeled series by tenant / cloud / cluster.
+
+Labeled instruments encode their dimensions in the series name
+(``queue.wait{tenant=acme}`` — see
+:func:`repro.obs.instruments.labeled_name`), so a rollup is a pure
+read-side pivot over the recorder: group every series carrying a given
+label key by that label's value, and summarize each series with the
+standard statistic block.  No extra bookkeeping at record time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .instruments import split_labeled_name
+from .windows import _interpolated_percentile
+
+#: The label keys health dashboards pivot on by default.
+DEFAULT_DIMENSIONS = ("tenant", "cloud", "cluster")
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Summary statistics of one series' sampled values."""
+
+    count: int
+    last: Optional[float]
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p99: float
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "last": self.last,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.p50,
+            "p99": self.p99,
+        }
+
+
+def series_stats(ts) -> Optional[SeriesStats]:
+    """Stats for one :class:`~repro.metrics.TimeSeries` (None if empty
+    or non-numeric)."""
+    try:
+        values = sorted(float(v) for v in ts.values())
+    except (TypeError, ValueError):
+        return None
+    if not values:
+        return None
+    return SeriesStats(
+        count=len(values),
+        last=float(ts.last()),
+        mean=sum(values) / len(values),
+        minimum=values[0],
+        maximum=values[-1],
+        p50=_interpolated_percentile(values, 50.0),
+        p99=_interpolated_percentile(values, 99.0),
+    )
+
+
+def rollup(metrics, dimension: str) -> Dict[str, Dict[str, SeriesStats]]:
+    """Pivot the recorder by one label key.
+
+    Returns ``{label_value: {base_series_name: stats}}`` covering every
+    series whose name carries ``dimension`` as a label.  Stats describe
+    the *streamed* series (full history), not the instrument's bounded
+    window.
+    """
+    out: Dict[str, Dict[str, SeriesStats]] = {}
+    for name in metrics.names():
+        base, labels = split_labeled_name(name)
+        value = labels.get(dimension)
+        if value is None:
+            continue
+        stats = series_stats(metrics.get(name))
+        if stats is None:
+            continue
+        out.setdefault(value, {})[base] = stats
+    return out
+
+
+def health_rollups(
+    metrics,
+    dimensions: Sequence[str] = DEFAULT_DIMENSIONS,
+) -> Dict[str, Dict[str, Dict[str, dict]]]:
+    """JSON-ready rollups across every dimension:
+    ``{dimension: {label_value: {base_name: stats_dict}}}``.
+    Dimensions with no labeled series are omitted."""
+    out: Dict[str, Dict[str, Dict[str, dict]]] = {}
+    for dim in dimensions:
+        pivot = rollup(metrics, dim)
+        if pivot:
+            out[dim] = {
+                value: {base: stats.to_dict()
+                        for base, stats in sorted(groups.items())}
+                for value, groups in sorted(pivot.items())
+            }
+    return out
+
+
+def flat_series_summary(metrics, limit: Optional[int] = None) -> List[dict]:
+    """One stats row per series (labeled and flat), name-sorted — the
+    dashboard's series table."""
+    rows = []
+    for name in metrics.names():
+        stats = series_stats(metrics.get(name))
+        if stats is None:
+            continue
+        base, labels = split_labeled_name(name)
+        rows.append({"name": name, "base": base, "labels": labels,
+                     **stats.to_dict()})
+        if limit is not None and len(rows) >= limit:
+            break
+    return rows

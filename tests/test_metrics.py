@@ -211,3 +211,109 @@ def test_doctest_in_metrics_module():
 
     failures, _ = doctest.testmod(repro.metrics)
     assert failures == 0
+
+
+# -- PR 5 satellites: CSV typo safety, probe restart, edge cases ---------
+
+
+def test_to_csv_raises_on_unknown_series():
+    sim = Simulator()
+    metrics = MetricsRecorder(sim)
+    metrics.record("real", 1.0)
+    with pytest.raises(KeyError, match="no series named 'tpyo'"):
+        metrics.to_csv("tpyo")
+    assert metrics.names() == ["real"]  # no empty series minted
+
+
+def test_dump_csv_raises_on_unknown_series_and_writes_nothing(tmp_path):
+    sim = Simulator()
+    metrics = MetricsRecorder(sim)
+    metrics.record("real", 1.0)
+    path = tmp_path / "out.csv"
+    with pytest.raises(KeyError):
+        metrics.dump_csv(path, names=["real", "tpyo"])
+    assert not path.exists() or path.read_text(encoding="utf-8") == ""
+    assert metrics.names() == ["real"]
+
+
+def test_recorder_get_never_creates():
+    sim = Simulator()
+    metrics = MetricsRecorder(sim)
+    assert metrics.get("nope") is None
+    assert metrics.names() == []
+    metrics.record("yes", 1.0)
+    assert metrics.get("yes") is metrics.series("yes")
+
+
+def test_recorder_install_and_discovery():
+    from repro.metrics import recorder_of
+
+    sim = Simulator()
+    assert recorder_of(sim) is None
+    metrics = MetricsRecorder(sim).install()
+    assert recorder_of(sim) is metrics
+
+
+def test_probe_restart_after_stop():
+    sim = Simulator()
+    metrics = MetricsRecorder(sim)
+    ticks = {"n": 0}
+
+    def sample():
+        ticks["n"] += 1
+        return ticks["n"]
+
+    probe = metrics.probe("ticks", sample, interval=1.0)
+
+    def orchestrate():
+        yield sim.timeout(2.5)   # samples at t=1, t=2
+        probe.stop()
+        probe.restart()          # re-arm immediately after stopping
+        yield sim.timeout(2.0)   # samples resume at t=3.5, t=4.5
+
+    sim.process(orchestrate())
+    sim.run(until=5.0)
+    times = metrics.series("ticks").times()
+    assert times == [1.0, 2.0, 3.5, 4.5]
+    # restart() while active is a no-op (no duplicate samplers).
+    probe.restart()
+    sim.run(until=6.0)
+    assert metrics.series("ticks").times().count(5.5) == 1
+
+
+def test_timeseries_rate_single_sample_is_empty():
+    ts = TimeSeries("c")
+    ts.record(1.0, 5.0)
+    assert ts.rate().samples == []
+
+
+def test_timeseries_rate_rejects_equal_timestamps():
+    ts = TimeSeries("c")
+    ts.record(1.0, 5.0)
+    ts.record(1.0, 6.0)  # legal for series, illegal for rate()
+    with pytest.raises(ValueError, match="distinct sample times"):
+        ts.rate()
+
+
+def test_timeseries_integrate_edge_cases():
+    empty = TimeSeries("e")
+    assert empty.integrate() == 0.0
+    single = TimeSeries("s")
+    single.record(3.0, 42.0)
+    assert single.integrate() == 0.0  # no interval to integrate over
+    step = TimeSeries("st")
+    step.record(0.0, 2.0)
+    step.record(4.0, 7.0)  # left-stepwise: value 2 holds for 4 s
+    assert step.integrate() == 8.0
+
+
+def test_recorder_labeled_factories_share_canonical_series():
+    sim = Simulator()
+    metrics = MetricsRecorder(sim)
+    a = metrics.counter("spot.reclaims",
+                        labels={"tenant": "acme", "cloud": "east"})
+    b = metrics.counter("spot.reclaims",
+                        labels={"cloud": "east", "tenant": "acme"})
+    assert a is b  # key order canonicalized
+    a.inc()
+    assert metrics.get("spot.reclaims{cloud=east,tenant=acme}").last() == 1.0

@@ -92,3 +92,119 @@ def test_recorder_rejects_kind_mismatch():
     rec.counter("x")
     with pytest.raises(TypeError, match="already a Counter"):
         rec.gauge("x")
+
+
+# -- PR 5 satellites: labels, bounded histograms, timer failures ---------
+
+
+def test_labeled_name_roundtrip():
+    from repro.obs import labeled_name, split_labeled_name
+
+    name = labeled_name("queue.wait", {"tenant": "acme", "cloud": "eu"})
+    assert name == "queue.wait{cloud=eu,tenant=acme}"
+    assert split_labeled_name(name) == ("queue.wait",
+                                        {"cloud": "eu", "tenant": "acme"})
+    assert split_labeled_name("plain") == ("plain", {})
+    assert labeled_name("plain", None) == "plain"
+    with pytest.raises(ValueError):
+        labeled_name(name, {"more": 1})  # double-labeling
+
+
+def test_histogram_max_samples_bounds_memory():
+    h = Histogram("lat", max_samples=3)
+    for v in (9.0, 1.0, 5.0, 2.0, 3.0):
+        h.observe(v)
+    assert h.count == 3          # oldest evicted
+    assert h.max_samples == 3
+    assert h.minimum() == 2.0    # 9.0 and 1.0 are gone
+    assert h.maximum() == 5.0
+    assert h.percentile(50) == 3.0
+
+
+def test_histogram_percentile_uses_sorted_shadow():
+    # The shadow stays correct under interleaved observe/percentile —
+    # the exact pattern that re-sorting hid and a stale cache breaks.
+    import random
+
+    from repro.obs.instruments import _interpolated_percentile
+
+    rng = random.Random(3)
+    h = Histogram("lat")
+    data = []
+    for _ in range(200):
+        v = rng.random()
+        h.observe(v)
+        data.append(v)
+        assert h.percentile(90) == \
+            _interpolated_percentile(sorted(data), 90)
+
+
+def test_timer_records_failure_to_separate_series():
+    sim = Simulator()
+    rec = MetricsRecorder(sim)
+    timer = rec.timer("op")
+
+    def work():
+        with timer.time(sim):
+            yield sim.timeout(2.0)
+        try:
+            with timer.time(sim):
+                yield sim.timeout(3.0)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+
+    sim.process(work())
+    sim.run()
+    # Success histogram holds only the clean duration...
+    assert timer.count == 1
+    assert rec.series("op").values() == [2.0]
+    # ...the failed duration went to the companion series.
+    assert rec.series("op.failed").values() == [3.0]
+
+
+def test_timer_record_failures_opt_out():
+    sim = Simulator()
+    rec = MetricsRecorder(sim)
+    timer = rec.timer("quiet", record_failures=False)
+
+    def work():
+        try:
+            with timer.time(sim):
+                yield sim.timeout(1.0)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+
+    sim.process(work())
+    sim.run()
+    assert timer.count == 0
+    assert rec.get("quiet.failed") is None
+    assert rec.get("quiet") is None  # nothing streamed at all
+
+
+def test_timer_explicit_stop_inside_block_not_double_counted():
+    sim = Simulator()
+    rec = MetricsRecorder(sim)
+    timer = rec.timer("op")
+
+    def work():
+        with timer.time(sim) as running:
+            yield sim.timeout(1.0)
+            running.stop()
+            yield sim.timeout(5.0)  # after stop(): not timed
+
+    sim.process(work())
+    sim.run()
+    assert timer.count == 1
+    assert rec.series("op").values() == [1.0]
+
+
+def test_timer_exception_propagates():
+    sim = Simulator()
+    timer = Histogram("h")  # sanity: context managers never swallow
+    t = MetricsRecorder(sim).timer("op")
+    with pytest.raises(RuntimeError):
+        with t.time(sim):
+            raise RuntimeError("boom")
+    assert timer.count == 0

@@ -1,0 +1,146 @@
+"""Streaming window aggregators: equivalence with full-sort and bounds."""
+
+import random
+
+import pytest
+
+from repro.obs.windows import (
+    CounterWindow,
+    P2Quantile,
+    SlidingWindow,
+    TimeWindow,
+    _interpolated_percentile,
+)
+
+
+class TestSlidingWindow:
+
+    def test_unbounded_percentiles_match_full_sort(self):
+        rng = random.Random(11)
+        win = SlidingWindow()
+        data = []
+        for _ in range(500):
+            v = rng.expovariate(1.0)
+            win.observe(v)
+            data.append(v)
+        for q in (0.0, 25.0, 50.0, 90.0, 99.0, 100.0):
+            assert win.percentile(q) == \
+                _interpolated_percentile(sorted(data), q)
+
+    def test_bounded_window_matches_tail_full_sort(self):
+        rng = random.Random(13)
+        win = SlidingWindow(maxlen=64)
+        data = []
+        for i in range(1000):
+            v = rng.gauss(0.0, 3.0)
+            win.observe(v)
+            data.append(v)
+            if i % 100 == 99:
+                tail = sorted(data[-64:])
+                assert win.percentile(99.0) == \
+                    _interpolated_percentile(tail, 99.0)
+                assert win.minimum() == tail[0]
+                assert win.maximum() == tail[-1]
+        assert win.count == 64
+        assert win.values() == data[-64:]
+        assert win.sum == pytest.approx(sum(data[-64:]))
+
+    def test_duplicate_values_evict_correctly(self):
+        win = SlidingWindow(maxlen=3)
+        for v in (5.0, 5.0, 5.0, 1.0):
+            win.observe(v)
+        assert win.values() == [5.0, 5.0, 1.0]
+        assert win.percentile(0.0) == 1.0
+
+    def test_empty_and_invalid(self):
+        win = SlidingWindow()
+        with pytest.raises(ValueError):
+            win.mean()
+        with pytest.raises(ValueError):
+            win.percentile(50.0)
+        with pytest.raises(ValueError):
+            SlidingWindow(maxlen=0)
+
+
+class TestTimeWindow:
+
+    def test_trim_slides_the_window(self):
+        win = TimeWindow()
+        for t in range(10):
+            win.observe(float(t), float(t))
+        win.trim(5.0)
+        assert win.count == 5
+        assert win.percentile(0.0) == 5.0
+        assert win.maximum() == 9.0
+        assert win.mean() == pytest.approx(7.0)
+        assert win.last() == 9.0
+
+    def test_rejects_time_regression(self):
+        win = TimeWindow()
+        win.observe(2.0, 1.0)
+        with pytest.raises(ValueError):
+            win.observe(1.0, 1.0)
+
+    def test_equal_times_allowed(self):
+        win = TimeWindow()
+        win.observe(1.0, 3.0)
+        win.observe(1.0, 4.0)
+        assert win.count == 2
+
+
+class TestCounterWindow:
+
+    def test_delta_uses_implicit_zero_origin(self):
+        win = CounterWindow()
+        win.observe(100.0, 7.0)
+        # Counter born inside the window: full total counts.
+        assert win.delta(horizon=50.0) == 7.0
+
+    def test_delta_against_baseline_sample(self):
+        win = CounterWindow()
+        win.observe(10.0, 3.0)
+        win.observe(20.0, 5.0)
+        win.observe(30.0, 9.0)
+        win.trim(20.0)
+        assert win.delta(horizon=20.0) == 4.0  # 9 - 5
+        # Window slid fully past the growth: no delta left.
+        win.trim(30.0)
+        assert win.delta(horizon=30.0) == 0.0
+
+    def test_empty_delta_is_zero(self):
+        assert CounterWindow().delta(horizon=0.0) == 0.0
+
+
+class TestP2Quantile:
+
+    def test_small_sample_is_exact(self):
+        sketch = P2Quantile(50.0)
+        for v in (5.0, 1.0, 3.0):
+            sketch.observe(v)
+        assert sketch.value == 3.0
+
+    def test_estimate_tracks_true_quantile(self):
+        rng = random.Random(29)
+        sketch = P2Quantile(90.0)
+        data = []
+        for _ in range(20000):
+            v = rng.gauss(10.0, 2.0)
+            sketch.observe(v)
+            data.append(v)
+        exact = _interpolated_percentile(sorted(data), 90.0)
+        assert sketch.value == pytest.approx(exact, abs=0.1)
+        assert sketch.count == 20000
+
+    def test_constant_memory(self):
+        sketch = P2Quantile(99.0)
+        for i in range(10000):
+            sketch.observe(float(i % 17))
+        assert len(sketch._heights) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(100.0)
+        with pytest.raises(ValueError):
+            P2Quantile(50.0).value
