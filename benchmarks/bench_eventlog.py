@@ -1,0 +1,193 @@
+"""Event-sourcing overhead: append, replay, and snapshot throughput.
+
+Event sourcing is only free if the log never becomes the control
+plane's bottleneck.  Three numbers, written to ``BENCH_eventlog.json``:
+
+1. **Append cost** — nanoseconds per committed event, against a real
+   :class:`~repro.controlplane.EventLog` and against the disabled
+   :data:`~repro.controlplane.NULL_LOG` (the price non-event-sourced
+   users pay: one attribute lookup and a no-op call).
+2. **Replay throughput** — events folded per second by
+   :func:`~repro.controlplane.rebuild` over a synthetic but
+   representative job/lease/tenant mix, and the end-to-end time to
+   recover a control-plane state from a log of ``N_EVENTS`` events.
+3. **Snapshot round-trip** — JSONL dump + load + validate rate, the
+   cold-start path of cross-process recovery.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.controlplane import (EventLog, NULL_LOG, rebuild,
+                                validate_events)
+from repro.simkernel import Simulator
+
+from _tables import fmt, print_table
+
+HERE = Path(__file__).resolve().parent
+PAYLOAD_PATH = HERE / "BENCH_eventlog.json"
+
+N_EVENTS = 30_000
+
+
+def _merge_payload(section: str, data: dict) -> None:
+    payload = {}
+    if PAYLOAD_PATH.exists():
+        payload = json.loads(PAYLOAD_PATH.read_text(encoding="utf-8"))
+    payload[section] = data
+    PAYLOAD_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True),
+                            encoding="utf-8")
+
+
+def _synthetic_workload(log, n: int) -> None:
+    """A representative event mix: every 10 events are one job's full
+    lifecycle under one tenant, with a lease riding along."""
+    log.append("tenant", "acme", to="registered", weight=2.0)
+    for i in range(1, n // 10 + 1):
+        log.append("job", i, to="queued", frm="pending", cause="submit",
+                   tenant="acme", work=600.0, attempts=0, name=f"job-{i}",
+                   n_nodes=2, runtime=300.0, priority=0, min_nodes=2,
+                   max_nodes=2)
+        log.append("job", i, to="provisioning", frm="queued",
+                   cause="dispatch", tenant="acme", work=600.0,
+                   attempts=0, reserve=600.0)
+        log.append("lease", i, to="active", cause="grant", tenant="acme",
+                   n=2, term=900.0, job=i, cluster=f"job-{i}",
+                   expires=900.0)
+        log.append("job", i, to="running", frm="provisioning",
+                   cause="provisioned", tenant="acme", work=600.0,
+                   attempts=1, lease=i)
+        log.append("lease", i, to="active", frm="active", cause="renew",
+                   tenant="acme", expires=1800.0)
+        log.append("spot", f"vm-{i}", to="enrolled", cause="back-lease",
+                   cloud="eu", bid=0.08, lease=i, tenant="acme")
+        log.append("job", i, to="completed", frm="running",
+                   cause="work-done", tenant="acme", work=0.0,
+                   attempts=1, unreserve=600.0)
+        log.append("spot", f"vm-{i}", to="closed", frm="enrolled",
+                   cause="finalize", lease=i, tenant="acme",
+                   savings=0.01)
+        log.append("lease", i, to="released", frm="active",
+                   cause="release", tenant="acme", n=2, charged=600.0,
+                   cost=0.05)
+        log.append("heal", i, to="replaced", cause="health",
+                   vm=f"vm-{i}")
+
+
+def _built_log() -> EventLog:
+    log = EventLog(Simulator())
+    _synthetic_workload(log, N_EVENTS)
+    return log
+
+
+# -- append path ---------------------------------------------------------
+
+
+def test_append_throughput(benchmark):
+    sim = Simulator()
+    log = EventLog(sim)
+
+    def run():
+        _synthetic_workload(log, N_EVENTS)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    n = len(log)
+
+    start = time.perf_counter()
+    for i in range(N_EVENTS):
+        NULL_LOG.append("job", i, to="queued", frm="pending",
+                        tenant="acme", work=600.0)
+    null_ns = (time.perf_counter() - start) / N_EVENTS * 1e9
+
+    start = time.perf_counter()
+    log2 = EventLog(Simulator())
+    _synthetic_workload(log2, N_EVENTS)
+    live_s = time.perf_counter() - start
+    live_ns = live_s / len(log2) * 1e9
+    rate = len(log2) / live_s
+
+    assert rate > 10_000  # appends must never bottleneck the plane
+    print_table(
+        f"EVENT APPEND ({n} events)",
+        ["path", "ns/event"],
+        [("EventLog.append", fmt(live_ns, 0)),
+         ("NULL_LOG.append (sourcing off)", fmt(null_ns, 0))],
+    )
+    _merge_payload("append", {
+        "events": n,
+        "append_ns": live_ns,
+        "null_append_ns": null_ns,
+        "appends_per_sec": rate,
+    })
+
+
+# -- replay path ---------------------------------------------------------
+
+
+def test_replay_throughput(benchmark):
+    log = _built_log()
+    events = list(log)
+
+    state = benchmark.pedantic(lambda: rebuild(events),
+                               rounds=1, iterations=1)
+    start = time.perf_counter()
+    state = rebuild(events)
+    replay_s = time.perf_counter() - start
+    rate = len(events) / replay_s
+
+    assert len(state.jobs) == N_EVENTS // 10
+    assert all(r.state == "completed" for r in state.jobs.values())
+    assert state.tenants["acme"].reserved == 0.0
+    assert rate > 20_000  # recovery must be fast even for long runs
+
+    print_table(
+        f"REPLAY ({len(events)} events)",
+        ["metric", "value"],
+        [("events/sec", fmt(rate, 0)),
+         ("full rebuild (ms)", fmt(replay_s * 1e3, 1)),
+         ("jobs reconstructed", len(state.jobs)),
+         ("leases reconstructed", len(state.leases))],
+    )
+    _merge_payload("replay", {
+        "events": len(events),
+        "events_per_sec": rate,
+        "rebuild_ms": replay_s * 1e3,
+        "jobs": len(state.jobs),
+        "leases": len(state.leases),
+    })
+
+
+# -- snapshot round-trip -------------------------------------------------
+
+
+def test_snapshot_round_trip(benchmark, tmp_path):
+    log = _built_log()
+    path = tmp_path / "events.jsonl"
+
+    def round_trip():
+        log.dump_jsonl(path)
+        events = EventLog.load_jsonl(path)  # includes validation
+        return events
+
+    events = benchmark.pedantic(round_trip, rounds=1, iterations=1)
+    start = time.perf_counter()
+    events = round_trip()
+    rt_s = time.perf_counter() - start
+
+    assert events == log.events
+    assert validate_events(events) == len(log)
+    rate = len(events) / rt_s
+    print_table(
+        f"JSONL SNAPSHOT ({len(events)} events, "
+        f"{path.stat().st_size // 1024} KiB)",
+        ["metric", "value"],
+        [("round-trip events/sec", fmt(rate, 0)),
+         ("dump+load+validate (ms)", fmt(rt_s * 1e3, 1))],
+    )
+    _merge_payload("snapshot", {
+        "events": len(events),
+        "bytes": path.stat().st_size,
+        "round_trip_events_per_sec": rate,
+        "round_trip_ms": rt_s * 1e3,
+    })

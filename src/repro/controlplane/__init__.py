@@ -10,6 +10,14 @@ utilization and provisions leased virtual clusters, a
 and a :class:`HealthMonitor` replaces failed VMs, requeues their jobs,
 and live-migrates work off draining hosts.
 
+The whole layer is *event-sourced*: every state change goes through the
+typed state machines in :mod:`~repro.controlplane.statemachine` and
+lands in the durable :class:`EventLog`, from which
+:func:`~repro.controlplane.recovery.rebuild` reconstructs the entire
+control-plane state and :func:`~repro.controlplane.recovery.recover`
+restarts a crashed plane; a :class:`Reconciler` heals whatever the
+crash (or a partition) left behind.
+
 Example
 -------
 >>> from repro.controlplane import ControlPlane
@@ -27,35 +35,62 @@ Example
 
 from .bidding import (BiddingStrategy, OnDemandClip, PercentileOfTrace,
                       UtilityScaled)
+from .eventlog import (EventLog, EventLogError, NULL_LOG, StateEvent,
+                       eventlog_of, validate_events)
 from .health import FailureInjector, HealEvent, HealthMonitor
 from .jobs import Job, JobState, Tenant
 from .lease import Lease, LeaseError, LeaseManager, LeaseState
 from .plane import ControlPlane
 from .queue import AdmissionError, JobQueue
+from .recovery import (Drift, RecoveredState, Reconciler, rebuild,
+                       recover, state_dict)
 from .scheduler import FairShareScheduler, SchedulerConfig
 from .spot import SpotBacking, SpotCapacityManager, SpotPolicy
+from .statemachine import (JOB_MACHINE, LEASE_MACHINE, StateMachine,
+                           TransitionError, machine_for, record,
+                           restore_state, transition)
 
 __all__ = [
     "AdmissionError",
     "BiddingStrategy",
     "ControlPlane",
+    "Drift",
+    "EventLog",
+    "EventLogError",
     "FailureInjector",
     "FairShareScheduler",
     "HealEvent",
     "HealthMonitor",
+    "JOB_MACHINE",
     "Job",
     "JobQueue",
     "JobState",
+    "LEASE_MACHINE",
     "Lease",
     "LeaseError",
     "LeaseManager",
     "LeaseState",
+    "NULL_LOG",
     "OnDemandClip",
     "PercentileOfTrace",
+    "RecoveredState",
+    "Reconciler",
     "SchedulerConfig",
     "SpotBacking",
     "SpotCapacityManager",
     "SpotPolicy",
+    "StateEvent",
+    "StateMachine",
     "Tenant",
+    "TransitionError",
     "UtilityScaled",
+    "eventlog_of",
+    "machine_for",
+    "rebuild",
+    "record",
+    "recover",
+    "restore_state",
+    "state_dict",
+    "transition",
+    "validate_events",
 ]

@@ -33,6 +33,7 @@ from ..sky.federation import Federation, FederationError
 from ..sky.migration_api import SkyMigrationService
 from .lease import Lease, LeaseManager
 from .scheduler import FairShareScheduler
+from .statemachine import record
 
 
 @dataclass
@@ -147,6 +148,8 @@ class HealthMonitor:
                 detail: str = "") -> None:
         self.events.append(HealEvent(self.sim.now, lease.id, vm.name,
                                      action, detail))
+        record(self.sim, "heal", lease.id, to=action, cause="health",
+               vm=vm.name, detail=detail)
 
     # -- draining --------------------------------------------------------
 

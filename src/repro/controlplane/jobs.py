@@ -20,12 +20,13 @@ from ..simkernel import Event, Process, Simulator
 
 
 class JobState(Enum):
-    PENDING = "pending"      # created, not yet admitted
-    QUEUED = "queued"        # admitted, waiting for resources
-    RUNNING = "running"      # backed by an active lease
-    COMPLETED = "completed"  # all work done
-    FAILED = "failed"        # gave up (too many requeues)
-    REJECTED = "rejected"    # failed admission control
+    PENDING = "pending"            # created, not yet admitted
+    QUEUED = "queued"              # admitted, waiting for resources
+    PROVISIONING = "provisioning"  # dispatched, cluster booting
+    RUNNING = "running"            # backed by an active lease
+    COMPLETED = "completed"        # all work done
+    FAILED = "failed"              # gave up (too many requeues)
+    REJECTED = "rejected"          # failed admission control
 
 
 @dataclass
@@ -74,6 +75,11 @@ class Job:
 
     _ids = itertools.count(1)
 
+    #: Initial lifecycle state (class-level: every *instance* state
+    #: change goes through :func:`repro.controlplane.statemachine.
+    #: transition`, which shadows this with the instance attribute).
+    state: JobState = JobState.PENDING
+
     def __init__(self, sim: Simulator, tenant: str, n_nodes: int,
                  runtime: float, priority: int = 0,
                  min_nodes: Optional[int] = None,
@@ -97,7 +103,6 @@ class Job:
                 f"need 1 <= min_nodes <= n_nodes <= max_nodes, got "
                 f"{self.min_nodes}/{n_nodes}/{self.max_nodes}"
             )
-        self.state = JobState.PENDING
         self.submitted_at: Optional[float] = None
         #: When the job last entered the queue (submit or requeue) —
         #: starvation is measured from here, not from ``submitted_at``,
@@ -115,6 +120,10 @@ class Job:
         #: share for this job's in-flight grant (scheduler-internal;
         #: equals ``work_remaining`` at dispatch, 0 when not granted).
         self._reserved_work = 0.0
+        #: ``work_remaining`` as of the last committed state event —
+        #: what an event-sourced restart can know about this job's
+        #: progress (updated by the transition helper).
+        self._work_logged = self.work_remaining
         #: Fires with the job when it completes or fails terminally.
         self.done: Event = sim.event()
         #: The runner process while RUNNING (scheduler-internal).

@@ -18,6 +18,7 @@ from ..metrics import MetricsRecorder
 from ..simkernel import Process, Simulator
 from ..sky.federation import Federation
 from ..sky.virtual_cluster import VirtualCluster
+from .eventlog import eventlog_of
 from .jobs import Job
 
 
@@ -36,6 +37,10 @@ class Lease:
 
     _ids = itertools.count(1)
 
+    #: Initial lifecycle state (class-level: instance state changes go
+    #: through :func:`repro.controlplane.statemachine.transition`).
+    state: LeaseState = LeaseState.ACTIVE
+
     def __init__(self, sim: Simulator, tenant: str, cluster: VirtualCluster,
                  term: float, job: Optional[Job] = None):
         self.id = next(Lease._ids)
@@ -44,7 +49,6 @@ class Lease:
         self.cluster = cluster
         self.term = term
         self.job = job
-        self.state = LeaseState.ACTIVE
         self.granted_at = sim.now
         self.expires_at = sim.now + term
         self.ended_at: Optional[float] = None
@@ -136,6 +140,11 @@ class LeaseManager:
             raise ValueError("lease term must be positive")
         lease = Lease(self.sim, tenant, cluster, term, job=job)
         self.leases.append(lease)
+        eventlog_of(self.sim).append(
+            "lease", lease.id, to=LeaseState.ACTIVE.value, cause="grant",
+            tenant=tenant, n=len(cluster.vms), term=term,
+            job=job.id if job is not None else None,
+            cluster=cluster.name, expires=lease.expires_at)
         if self.metrics is not None:
             self.metrics.record("lease.active", len(self.active_leases()))
         return lease
@@ -148,6 +157,10 @@ class LeaseManager:
         lease.expires_at = self.sim.now + (extra if extra is not None
                                            else lease.term)
         lease.renewals += 1
+        eventlog_of(self.sim).append(
+            "lease", lease.id, to=LeaseState.ACTIVE.value,
+            frm=LeaseState.ACTIVE.value, cause="renew",
+            tenant=lease.tenant, expires=lease.expires_at)
         return lease.expires_at
 
     def release(self, lease: Lease) -> float:
@@ -175,10 +188,16 @@ class LeaseManager:
         lease.cluster.vms.clear()
         if lease.cluster in fed.clusters:
             fed.clusters.remove(lease.cluster)
-        lease.state = final_state
         lease.ended_at = self.sim.now
+        # Charge *before* the transition commits: the event carries the
+        # charge, so replayed state must never be ahead of live state.
         if self.charge is not None and node_seconds > 0:
             self.charge(lease.tenant, node_seconds)
+        from .statemachine import transition  # import cycle via enums
+        transition(lease, final_state,
+                   cause=("expiry" if final_state is LeaseState.EXPIRED
+                          else "release"),
+                   charged=node_seconds, cost=lease.cost)
 
     # -- queries ---------------------------------------------------------
 

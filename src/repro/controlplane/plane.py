@@ -15,10 +15,12 @@ from ..metrics import MetricsRecorder, recorder_of
 from ..obs.trace import tracer_of
 from ..simkernel import Event, Simulator
 from ..sky.federation import Federation
+from .eventlog import EventLog
 from .health import HealthMonitor
 from .jobs import Job, JobState, Tenant
 from .lease import LeaseManager
 from .queue import JobQueue
+from .recovery import Reconciler
 from .scheduler import FairShareScheduler, SchedulerConfig
 from .spot import SpotCapacityManager, SpotPolicy
 
@@ -51,6 +53,17 @@ class ControlPlane:
         Optional :class:`~repro.obs.Tracer`; when given it is installed
         on the simulator, so every job gets an
         admission->queue->lease->completion trace.
+    eventlog:
+        Optional :class:`~repro.controlplane.eventlog.EventLog` to
+        commit state changes to; it is installed on the simulator.  By
+        default the plane reuses an already-installed log (crash
+        recovery keeps one sequence across restarts) or installs a
+        fresh in-memory one — event sourcing is always on.
+    reconcile_interval:
+        When set, a :class:`~repro.controlplane.recovery.Reconciler`
+        sweeps desired-vs-observed state every that many seconds (and
+        is exposed as ``plane.reconciler`` for forced rounds and
+        partition declarations).
     """
 
     def __init__(self, sim: Simulator, federation: Federation,
@@ -62,7 +75,9 @@ class ControlPlane:
                  heal_policy: str = "replace",
                  health_interval: float = 30.0,
                  sweep_interval: float = 30.0,
-                 tracer=None):
+                 tracer=None,
+                 eventlog: Optional[EventLog] = None,
+                 reconcile_interval: Optional[float] = None):
         self.sim = sim
         self.federation = federation
         self.image_name = image_name
@@ -74,6 +89,12 @@ class ControlPlane:
         if tracer is not None:
             tracer.install()
         self.tracer = tracer if tracer is not None else tracer_of(sim)
+        if eventlog is not None:
+            self.eventlog = eventlog.install()
+        else:
+            installed = getattr(sim, "_eventlog", None)
+            self.eventlog = (installed if installed is not None
+                             else EventLog(sim).install())
         self.config = config or SchedulerConfig()
         self.queue = JobQueue(sim, federation, spec=self.config.spec,
                               metrics=self.metrics)
@@ -96,6 +117,11 @@ class ControlPlane:
                 sim, federation, spot_markets, self.leases,
                 self.scheduler, policy=spot_policy, metrics=self.metrics)
             self.scheduler.spot = self.spot
+        self.reconciler: Optional[Reconciler] = None
+        if reconcile_interval is not None:
+            self.reconciler = Reconciler(sim, self,
+                                         interval=reconcile_interval,
+                                         metrics=self.metrics)
         self._started = False
 
     # -- lifecycle -------------------------------------------------------
@@ -105,6 +131,8 @@ class ControlPlane:
         self.leases.start()
         self.scheduler.start()
         self.health.start()
+        if self.reconciler is not None:
+            self.reconciler.start()
         self._started = True
         return self
 
@@ -112,7 +140,36 @@ class ControlPlane:
         self.scheduler.stop()
         self.leases.stop()
         self.health.stop()
+        if self.reconciler is not None:
+            self.reconciler.stop()
         self._started = False
+
+    def crash(self) -> EventLog:
+        """Hard failure at ``sim.now``: every control loop and job
+        runner dies where it stands — leases, VMs and half-provisioned
+        clusters are left dangling, nothing is unreserved or charged.
+        Returns the event log (all a restarted plane gets to see; hand
+        it to :func:`~repro.controlplane.recovery.recover`)."""
+        self.stop()
+
+        def _kill(proc):
+            if (proc is not None and proc.is_alive
+                    and proc is not self.sim.active_process):
+                # The loops don't catch Interrupt (a real crash is not
+                # a control flow they handle); defuse so the failure
+                # does not take the simulator down with the plane.
+                proc.callbacks.append(
+                    lambda ev: setattr(ev, "defused", True))
+                proc.interrupt("crash")
+
+        _kill(self.scheduler._loop)
+        _kill(self.leases._sweeper)
+        _kill(self.health._proc)
+        if self.reconciler is not None:
+            _kill(self.reconciler._proc)
+        for job in self.queue.jobs.values():
+            _kill(job._runner)
+        return self.eventlog
 
     # -- user API --------------------------------------------------------
 
@@ -142,6 +199,9 @@ class ControlPlane:
         ]
         waits = [j.wait_time for j in {id(j): j for j in finished}.values()
                  if j.wait_time is not None]
+        by_state: Dict[str, int] = {}
+        for job in self.queue.jobs.values():
+            by_state[job.state.value] = by_state.get(job.state.value, 0) + 1
         return {
             "submitted": self.queue.submitted,
             "completed": self.scheduler.jobs_completed,
@@ -152,6 +212,8 @@ class ControlPlane:
             "leases_expired": self.leases.expired_count,
             "leases_leaked": len(self.leases.leaked()),
             "heal_events": len(self.health.events),
+            "jobs_by_state": by_state,
+            "last_seq": self.eventlog.last_seq,
             "mean_wait": (sum(waits) / len(waits)) if waits else 0.0,
             "usage_by_tenant": {t.name: t.usage
                                 for t in self.queue.tenants.values()},

@@ -21,6 +21,7 @@ from ..obs.trace import tracer_of
 from ..simkernel import Event, Simulator
 from ..sky.federation import Federation
 from .jobs import Job, JobState, Tenant
+from .statemachine import record, transition
 
 
 class AdmissionError(CloudError):
@@ -38,6 +39,9 @@ class JobQueue:
         self.spec = spec
         self.metrics = metrics
         self.tenants: Dict[str, Tenant] = {}
+        #: Every job ever admitted (or rejected), by id — the master
+        #: registry ``state_dict``/``summary`` count lifecycles over.
+        self.jobs: Dict[int, Job] = {}
         #: Per-tenant queues, each sorted by (-priority, job.id).
         self._queues: Dict[str, List[Job]] = {}
         self._arrival: Event = sim.event()
@@ -57,6 +61,8 @@ class JobQueue:
                         max_nodes=max_nodes)
         self.tenants[name] = tenant
         self._queues[name] = []
+        record(self.sim, "tenant", name, to="registered", cause="register",
+               weight=weight, max_queued=max_queued, max_nodes=max_nodes)
         return tenant
 
     def tenant(self, name: str) -> Tenant:
@@ -94,9 +100,11 @@ class JobQueue:
             f"job:{job.name}", track=f"job:{job.name}",
             tenant=job.tenant, nodes=job.n_nodes,
         )
+        self.jobs[job.id] = job
         if job.min_nodes > self.potential_capacity():
-            job.state = JobState.REJECTED
             self.rejected += 1
+            transition(job, JobState.REJECTED, cause="admission",
+                       **self._job_meta(job))
             job.span.end(status="rejected")
             raise AdmissionError(
                 f"{job.name!r} needs {job.min_nodes} nodes; the federation "
@@ -104,8 +112,9 @@ class JobQueue:
             )
         if (tenant.max_queued is not None
                 and len(self._queues[job.tenant]) >= tenant.max_queued):
-            job.state = JobState.REJECTED
             self.rejected += 1
+            transition(job, JobState.REJECTED, cause="quota",
+                       **self._job_meta(job))
             job.span.end(status="rejected")
             raise QuotaExceeded(
                 f"tenant {tenant.name!r} already has "
@@ -115,10 +124,18 @@ class JobQueue:
         job.submitted_at = self.sim.now
         tenant.jobs_submitted += 1
         self.submitted += 1
-        self._enqueue(job)
+        self._enqueue(job, cause="submit", **self._job_meta(job))
         return job
 
-    def resubmit(self, job: Job, keep_progress: bool = True) -> Job:
+    @staticmethod
+    def _job_meta(job: Job) -> Dict[str, object]:
+        """The construction facts replay needs to recreate the job."""
+        return {"name": job.name, "n_nodes": job.n_nodes,
+                "runtime": job.runtime, "priority": job.priority,
+                "min_nodes": job.min_nodes, "max_nodes": job.max_nodes}
+
+    def resubmit(self, job: Job, keep_progress: bool = True,
+                 cause: str = "requeue", **detail) -> Job:
         """Requeue a previously running job (self-healing, preemption,
         spot reclamation): no admission re-check, original submission
         time kept for ordering.
@@ -127,15 +144,17 @@ class JobQueue:
         (``job.progress``) and resumes from where it stopped — job-level
         checkpointing.  Pass ``keep_progress=False`` for the old
         restart-from-scratch semantics (workloads whose partial state
-        cannot be recovered)."""
+        cannot be recovered).  ``cause`` and ``detail`` ride the
+        committed requeue event."""
         if not keep_progress:
             job.work_remaining = job.total_work
-        self._enqueue(job)
+        self.jobs.setdefault(job.id, job)
+        self._enqueue(job, cause=cause, **detail)
         return job
 
-    def _enqueue(self, job: Job) -> None:
-        job.state = JobState.QUEUED
+    def _enqueue(self, job: Job, cause: str = "submit", **detail) -> None:
         job.queued_at = self.sim.now
+        transition(job, JobState.QUEUED, cause=cause, **detail)
         job._queued_span = tracer_of(self.sim).start("queued",
                                                      parent=job.span)
         # Sort key: priority descending, then submission order (job.id

@@ -35,6 +35,7 @@ from ..sky.scheduler import PlacementError
 from .jobs import Job, JobState, Tenant
 from .lease import Lease, LeaseManager
 from .queue import JobQueue
+from .statemachine import transition
 
 
 @dataclass
@@ -249,6 +250,8 @@ class FairShareScheduler:
         # must not count against its tenant's fair share twice.
         job._reserved_work = job.work_remaining
         self.queue.tenants[job.tenant].reserved += job._reserved_work
+        transition(job, JobState.PROVISIONING, cause="dispatch",
+                   reserve=job._reserved_work, allocation=dict(allocation))
         job._runner = self.sim.process(
             self._run_job(job, allocation),
             name=f"run-{job.name}",
@@ -402,8 +405,10 @@ class FairShareScheduler:
         except (CloudError, PlacementError, FederationError):
             # Lost a provisioning race; back in the queue untouched.
             pspan.end(status="error")
+            unreserved = job._reserved_work
             self._unreserve(job)
-            self.queue.resubmit(job)
+            self.queue.resubmit(job, cause="provision-failed",
+                                unreserve=unreserved)
             return
         finally:
             for name, count in allocation.items():
@@ -413,8 +418,9 @@ class FairShareScheduler:
 
         lease = self.leases.grant(job.tenant, cluster, cfg.lease_term,
                                   job=job)
-        job.state = JobState.RUNNING
         job.attempts += 1
+        transition(job, JobState.RUNNING, cause="provisioned",
+                   lease=lease.id)
         job.span.event("lease-granted", lease=lease.id, nodes=n)
         if self.spot is not None:
             self.spot.back_lease(lease, job, allocation)
@@ -442,9 +448,11 @@ class FairShareScheduler:
         rspan.end()
 
         job._runner = None
-        job.state = JobState.COMPLETED
         job.finished_at = self.sim.now
+        unreserved = job._reserved_work
         self._unreserve(job)
+        transition(job, JobState.COMPLETED, cause="work-done",
+                   unreserve=unreserved)
         self.queue.tenants[job.tenant].jobs_completed += 1
         self.jobs_completed += 1
         if lease.active:
@@ -473,12 +481,14 @@ class FairShareScheduler:
                 and runner is not self.sim.active_process):
             runner.interrupt(reason)
         job._runner = None
+        unreserved = job._reserved_work
         self._unreserve(job)
         if lease.active:
             self.leases.release(lease)
         if job.attempts >= self.config.max_attempts:
-            job.state = JobState.FAILED
             job.finished_at = self.sim.now
+            transition(job, JobState.FAILED, cause="max-attempts",
+                       unreserve=unreserved)
             self.jobs_failed += 1
             if self.metrics is not None:
                 self.metrics.record("jobs.failed", self.jobs_failed)
@@ -490,7 +500,7 @@ class FairShareScheduler:
         self.jobs_requeued += 1
         if self.metrics is not None:
             self.metrics.record("jobs.requeued", self.jobs_requeued)
-        self.queue.resubmit(job)
+        self.queue.resubmit(job, cause=reason, unreserve=unreserved)
 
     def _lease_expired(self, lease: Lease) -> None:
         self.requeue(lease, reason="lease-expired")

@@ -51,6 +51,7 @@ from ..sky.spot_manager import MigratableSpotManager
 from .bidding import BiddingStrategy, OnDemandClip
 from .jobs import JobState
 from .lease import Lease, LeaseManager
+from .statemachine import record
 
 
 @dataclass
@@ -214,6 +215,9 @@ class SpotCapacityManager:
                     inst=inst, market=market, lease=lease,
                     tenant=lease.tenant, od_rate=od,
                     enrolled_at=self.sim.now)
+                record(self.sim, "spot", vm.name, to="enrolled",
+                       cause="back-lease", cloud=cloud_name, bid=bid,
+                       lease=lease.id, tenant=lease.tenant)
                 if (self.checkpoints is not None
                         and not self.checkpoints.protected(vm.name)):
                     self.checkpoints.protect(vm)
@@ -481,6 +485,9 @@ class SpotCapacityManager:
             self.savings_by_tenant.get(tenant, 0.0) + saved)
         if outcome in self.outcomes:
             self.outcomes[outcome] += 1
+        record(self.sim, "spot", backing.inst.vm.name, to=outcome,
+               frm="enrolled", cause="finalize", lease=backing.lease.id,
+               tenant=tenant, savings=saved)
         if self.metrics is not None:
             self.metrics.gauge(f"spot.savings.{tenant}").inc(saved)
             self.metrics.gauge("spot.savings").inc(saved)

@@ -120,7 +120,8 @@ def test_spike_without_rescue_requeues_with_progress():
     tb.sim.run(until=300.0)
     pre_spike = job.progress
     tb.sim.run(until=425.0)  # past the kill at t=420
-    assert job.state is JobState.QUEUED
+    # Requeued (and possibly already re-dispatched into provisioning).
+    assert job.state in (JobState.QUEUED, JobState.PROVISIONING)
     assert job.progress >= pre_spike > 0  # credit survived the requeue
     tb.sim.run(until=job.done)
     assert job.state is JobState.COMPLETED
