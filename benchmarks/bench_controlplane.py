@@ -33,6 +33,7 @@ from _tables import fmt, print_table
 N_JOBS = 1000
 TENANTS = (("alice", 1.0), ("bob", 2.0), ("carol", 1.0))
 HERE = Path(__file__).resolve().parent
+ROOT = HERE.parent  # BENCH_* artifacts live at the repo root
 
 
 def build_plane(n_hosts=4, cores=16, heal_policy="replace",
@@ -145,10 +146,10 @@ def test_throughput_1000_jobs_deterministic(benchmark):
 
     # Export the trajectories for plotting / regression diffing.
     exported = first["metrics"].to_dict()
-    json_path = HERE / "BENCH_controlplane.json"
+    json_path = ROOT / "BENCH_controlplane.json"
     json_path.write_text(json.dumps(exported, indent=1))
     rows_written = first["metrics"].dump_csv(
-        HERE / "BENCH_controlplane.csv",
+        ROOT / "BENCH_controlplane.csv",
         names=["queue.depth", "lease.utilization", "jobs.completed"],
     )
     assert rows_written > 0

@@ -26,7 +26,8 @@ from repro.simkernel import Simulator
 from _tables import fmt, print_table
 
 HERE = Path(__file__).resolve().parent
-PAYLOAD_PATH = HERE / "BENCH_eventlog.json"
+ROOT = HERE.parent  # BENCH_* artifacts live at the repo root
+PAYLOAD_PATH = ROOT / "BENCH_eventlog.json"
 
 N_EVENTS = 30_000
 

@@ -27,7 +27,8 @@ from repro.simkernel import Simulator
 from _tables import fmt, print_table
 
 HERE = Path(__file__).resolve().parent
-PAYLOAD_PATH = HERE / "BENCH_obs.json"
+ROOT = HERE.parent  # BENCH_* artifacts live at the repo root
+PAYLOAD_PATH = ROOT / "BENCH_obs.json"
 
 N_OPS = 50_000
 WINDOW = 512

@@ -37,6 +37,7 @@ JOB_SECONDS = 6 * 3600.0
 N_INSTANCES = 8
 BID = 0.06
 HERE = Path(__file__).resolve().parent
+ROOT = HERE.parent  # BENCH_* artifacts live at the repo root
 
 
 def run(mode: str, seed: int):
@@ -342,7 +343,7 @@ def test_spot_backed_1000_jobs_save_over_on_demand(benchmark):
                    if k.startswith("spot.") or k in
                    ("queue.depth", "jobs.completed")},
     }
-    (HERE / "BENCH_spot.json").write_text(json.dumps(payload, indent=1))
+    (ROOT / "BENCH_spot.json").write_text(json.dumps(payload, indent=1))
 
 
 def tracer_spans(tracer):

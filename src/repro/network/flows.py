@@ -318,11 +318,7 @@ class FlowScheduler:
         if self._batch_pending:
             return
         self._batch_pending = True
-        batch = self.sim.event()
-        batch._ok = True
-        batch._value = None
-        batch.callbacks.append(self._run_batch)
-        self.sim.schedule(batch, priority=URGENT)
+        self.sim.call_in(0.0, self._run_batch, priority=URGENT)
 
     def _run_batch(self, _ev) -> None:
         self._batch_pending = False
@@ -474,9 +470,8 @@ class FlowScheduler:
         if flow.rate <= 0:  # starved; will be rescheduled on next recompute
             return
         eta = flow.remaining / flow.rate
-        timer = self.sim.timeout(eta)
-        timer.callbacks.append(lambda _ev: self._maybe_complete(flow, epoch))
-        flow._timer = timer
+        flow._timer = self.sim.call_in(
+            eta, lambda _ev: self._maybe_complete(flow, epoch))
         flow._armed_rate = flow.rate
         self.stats["timers_armed"] += 1
 
@@ -511,13 +506,9 @@ class FlowScheduler:
                 for tap in self.taps:
                     tap(record)
 
-        if latency > 0:
-            timer = self.sim.timeout(latency)
-            timer.callbacks.append(fire)
-        else:
-            stub = self.sim.event()
-            stub.callbacks.append(fire)
-            stub.succeed()
+        # One schedule() either way (zero latency fires at now, NORMAL),
+        # so the kernel sequence stream — and determinism — is unchanged.
+        self.sim.call_in(latency, fire)
 
 
 def _link_scale(link) -> float:

@@ -153,6 +153,9 @@ class Transport:
         self.transfers_by_class: Dict[TransferClass, int] = {
             cls: 0 for cls in TransferClass
         }
+        # Memoized per-class throughput instruments, keyed by the
+        # recorder they were resolved against (it can be swapped).
+        self._hist_cache = (None, {})
         scheduler.taps.append(self._observe)
 
     @classmethod
@@ -276,10 +279,17 @@ class Transport:
         if rec is not None:
             duration = record.finished_at - record.started_at
             if duration > 0 and record.size > 0:
-                rec.histogram(
-                    "transport.throughput",
-                    labels={"class": cls.value},
-                ).observe(record.size / duration)
+                cached_rec, hists = self._hist_cache
+                if cached_rec is not rec:
+                    hists = {}
+                    self._hist_cache = (rec, hists)
+                hist = hists.get(cls)
+                if hist is None:
+                    hist = hists[cls] = rec.histogram(
+                        "transport.throughput",
+                        labels={"class": cls.value},
+                    )
+                hist.observe(record.size / duration)
         if self.taps:
             transfer = TransferRecord(cls, record)
             for tap in self.taps:

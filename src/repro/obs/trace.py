@@ -58,7 +58,9 @@ class Span:
         self.parent_id = parent_id
         self.name = name
         self.track = track
-        self.start: float = sim.now
+        # Direct clock-attribute reads (here, in event() and in end())
+        # skip the property descriptor on the span hot path.
+        self.start: float = sim._now
         self.end_time: Optional[float] = None
         self.status: str = "ok"
         self.attributes = attributes
@@ -92,7 +94,7 @@ class Span:
 
     def event(self, name: str, **attributes) -> "Span":
         """Record a point-in-time event at ``sim.now``."""
-        self.events.append((self._sim.now, name, attributes))
+        self.events.append((self._sim._now, name, attributes))
         return self
 
     def link(self, other) -> "Span":
@@ -107,7 +109,7 @@ class Span:
         """Close the span at ``sim.now``.  Idempotent: only the first
         call sets the end time and status."""
         if self.end_time is None:
-            self.end_time = self._sim.now
+            self.end_time = self._sim._now
             if status is not None:
                 self.status = status
         return self

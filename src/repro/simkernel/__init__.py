@@ -20,6 +20,7 @@ from .events import (
     URGENT,
 )
 from .process import Process
+from .queues import BACKENDS, CalendarQueue, HeapQueue, make_queue
 from .resources import (
     Container,
     FilterStore,
@@ -31,15 +32,20 @@ from .resources import (
     Store,
 )
 
+from .vectime import TimerBank, TimerHandle
+
 __all__ = [
     "AllOf",
     "AnyOf",
+    "BACKENDS",
+    "CalendarQueue",
     "Condition",
     "ConditionValue",
     "Container",
     "EmptySchedule",
     "Event",
     "FilterStore",
+    "HeapQueue",
     "Infinity",
     "Interrupt",
     "NORMAL",
@@ -54,5 +60,8 @@ __all__ = [
     "Store",
     "StopSimulation",
     "Timeout",
+    "TimerBank",
+    "TimerHandle",
     "URGENT",
+    "make_queue",
 ]

@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-import heapq
 from typing import Any, Generator, Optional, Union
 
 from .errors import EmptySchedule, SimulationError, StopSimulation
 from .events import AllOf, AnyOf, Event, NORMAL, Timeout, URGENT
 from .process import Process
+from .queues import make_queue
 
 Infinity = float("inf")
 
@@ -20,6 +20,18 @@ class Simulator:
     :class:`~repro.simkernel.process.Process` objects created with
     :meth:`process`; they advance time by yielding :meth:`timeout` events
     and coordinate by yielding arbitrary events.
+
+    Parameters
+    ----------
+    initial_time:
+        Where the clock starts.
+    queue:
+        Event-queue backend: ``"heap"`` (default, the reference binary
+        heap), ``"calendar"`` (bucketed calendar tuned for
+        timer-dominated runs), or a pre-built backend instance from
+        :mod:`repro.simkernel.queues`.  Every backend delivers events
+        in the identical total order, so same-seed runs are
+        byte-identical regardless of backend.
 
     Examples
     --------
@@ -34,11 +46,16 @@ class Simulator:
     [5.0]
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, queue=None):
         self._now = float(initial_time)
-        self._queue: list = []  # (time, priority, seq, event)
+        self._queue = make_queue(queue)
         self._seq = 0
         self._active_proc: Optional[Process] = None
+        # Batch-preemption tracking: a push can only sort before the
+        # rest of the running batch when it lands at the current instant
+        # with a more urgent priority; schedule() flags exactly that.
+        self._batch_priority = URGENT
+        self._preempted = False
 
     # -- clock & introspection ------------------------------------------
 
@@ -52,21 +69,53 @@ class Simulator:
         """The process currently being resumed, if any."""
         return self._active_proc
 
+    @property
+    def queue_backend(self):
+        """The event-queue backend instance (read-only introspection)."""
+        return self._queue
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        while self._queue and self._queue[0][3]._descheduled:
-            heapq.heappop(self._queue)
-        return self._queue[0][0] if self._queue else Infinity
+        entry = self._queue.peek()
+        return entry[0] if entry is not None else Infinity
 
     # -- scheduling ------------------------------------------------------
 
     def schedule(self, event: Event, priority: int = NORMAL,
                  delay: float = 0.0) -> None:
-        """Queue ``event`` for processing after ``delay`` time units."""
-        if delay < 0:
-            raise ValueError(f"negative delay {delay}")
+        """Queue ``event`` for processing after ``delay`` time units.
+
+        ``delay`` must be finite and non-negative: a NaN or infinite
+        delay would silently corrupt the queue ordering (NaN compares
+        false against everything), so both are rejected here.
+        """
+        if not 0.0 <= delay < Infinity:
+            raise ValueError(
+                f"delay must be finite and non-negative, got {delay}")
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        self._queue.push((self._now + delay, priority, self._seq, event))
+        if delay == 0.0 and priority < self._batch_priority:
+            self._preempted = True
+
+    def call_in(self, delay: float, fn, priority: int = NORMAL) -> Event:
+        """Schedule a bare callback: ``fn(event)`` runs after ``delay``.
+
+        Cheaper than a :class:`Timeout` plus a manual
+        ``callbacks.append`` and far cheaper than a process for
+        fire-and-forget timers (flow completions, batched recomputes,
+        timer-bank wake-ups).  The returned event supports
+        :meth:`Event.deschedule` for lazy cancellation.
+        """
+        event = Event(self)
+        event._ok = True
+        event._value = None
+        event.callbacks.append(fn)
+        self.schedule(event, priority, delay)
+        return event
+
+    def _note_descheduled(self) -> None:
+        """An event somewhere in the queue was lazily cancelled."""
+        self._queue.note_descheduled()
 
     # -- event factories ---------------------------------------------------
 
@@ -92,23 +141,18 @@ class Simulator:
 
     # -- execution ---------------------------------------------------------
 
-    def step(self) -> None:
-        """Process the single next event.
+    def _pop_next(self):
+        """Pop the next live entry, dropping stale (descheduled) entries
+        exactly once on the way — the single skip loop shared by
+        :meth:`step` and batch dispatch (peek prunes through the same
+        backend path)."""
+        entry = self._queue.pop()
+        if entry is None:
+            raise EmptySchedule("event queue is empty")
+        return entry
 
-        Raises
-        ------
-        EmptySchedule
-            If there is nothing left to process.
-        """
-        while True:
-            try:
-                now, _, _, event = heapq.heappop(self._queue)
-            except IndexError:
-                raise EmptySchedule("event queue is empty") from None
-            if not event._descheduled:
-                break
-        self._now = now
-
+    def _dispatch(self, event: Event) -> None:
+        """Run one popped event's callbacks (the kernel's inner loop)."""
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:
             raise SimulationError(f"{event!r} was scheduled twice")
@@ -118,6 +162,18 @@ class Simulator:
         if event._ok is False and not event._defused:
             # An unhandled failure crashes the simulation, loudly.
             raise event._exc
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises
+        ------
+        EmptySchedule
+            If there is nothing left to process.
+        """
+        entry = self._pop_next()
+        self._now = entry[0]
+        self._dispatch(entry[3])
 
     def run(self, until: Union[None, float, Event] = None) -> Any:
         """Run until the queue drains, a time is reached, or an event fires.
@@ -129,6 +185,17 @@ class Simulator:
             reaches it (events at exactly that time are not processed);
             an :class:`Event` — run until it is processed and return its
             value.
+
+        Notes
+        -----
+        The run loop dispatches events in **batches**: one backend pop
+        lifts the whole run of events sharing the head's ``(time,
+        priority)``, so a coalesced storm (URGENT flow recomputes, tick-
+        aligned timers) stops paying one heap percolation per event.
+        Dispatch order is exactly the per-event order — if a callback
+        schedules something that must run *before* the rest of the
+        batch (an URGENT event at the current instant), the remainder
+        is pushed back and re-popped in order.
         """
         stop_event: Optional[Event] = None
         if until is not None:
@@ -150,9 +217,40 @@ class Simulator:
                 self.schedule(stop_event, priority=URGENT, delay=at - self._now)
                 stop_event.callbacks.append(_stop_simulation)
 
+        queue = self._queue
+        batch: list = []
         try:
             while True:
-                self.step()
+                batch.clear()
+                if not queue.pop_batch(batch):
+                    raise EmptySchedule("event queue is empty")
+                self._now = batch[0][0]
+                self._batch_priority = batch[0][1]
+                i, n = 0, len(batch)
+                try:
+                    while i < n:
+                        event = batch[i][3]
+                        i += 1
+                        if event._descheduled:
+                            # Cancelled by an earlier event of this batch.
+                            continue
+                        self._preempted = False
+                        self._dispatch(event)
+                        if self._preempted and i < n:
+                            # The callback scheduled an event at this
+                            # instant with a more urgent priority — it
+                            # sorts before the rest of the batch (which
+                            # all carry older seqs), so yield to it.
+                            for j in range(i, n):
+                                queue.push(batch[j])
+                            i = n
+                except BaseException:
+                    # A callback raised (StopSimulation, a crash, an
+                    # undefused failure): the undispatched remainder
+                    # must survive for any continuation run.
+                    for j in range(i, n):
+                        queue.push(batch[j])
+                    raise
         except StopSimulation as stop:
             return stop.value
         except EmptySchedule:
@@ -170,7 +268,8 @@ class Simulator:
         raise StopSimulation(value)
 
     def __repr__(self) -> str:
-        return f"<Simulator now={self._now} queued={len(self._queue)}>"
+        return (f"<Simulator now={self._now} queued={len(self._queue)} "
+                f"backend={getattr(self._queue, 'name', '?')}>")
 
 
 def _stop_simulation(event: Event) -> None:

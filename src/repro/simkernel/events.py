@@ -56,8 +56,14 @@ class Event:
         The simulator skips descheduled events without advancing the
         clock or running callbacks.  Intended for internal timers whose
         deadline was superseded (e.g. flow-completion estimates).
+
+        Cancellation is lazy — the queue entry stays put until it
+        surfaces — but the queue backend is notified so it can compact
+        once dead entries dominate.
         """
-        self._descheduled = True
+        if not self._descheduled:
+            self._descheduled = True
+            self.sim._note_descheduled()
 
     # -- state ---------------------------------------------------------
 

@@ -1,0 +1,242 @@
+"""Vectorized timer fast path for homogeneous event storms.
+
+Workloads like price ticks, dirty-page trackers and health probes arm
+thousands of near-identical timers whose only payload is "call me at
+time *t*".  Routing each through the event queue costs one queue entry,
+one :class:`~repro.simkernel.events.Event` and one dispatch apiece.  A
+:class:`TimerBank` instead keeps the pending fire-times in NumPy arrays
+and represents *all* of them with a single sentinel event in the kernel
+queue, armed at the earliest deadline.  When the sentinel fires, every
+due timer drains in one vectorized sweep (``nonzero`` /
+``searchsorted``), and the sentinel re-arms at the next deadline.
+
+The fast path is **opt-in** (``vectorized=True`` at the call sites that
+support it) because it changes the event-*count* timeline even though it
+preserves simulated-time semantics: tests that pin exact event
+interleavings keep the plain path by default.
+
+Determinism: drains happen at exact simulated deadlines through the
+ordinary queue, due singles fire in arm order, and groups drain in
+creation order with stable within-group ordering — so same-seed runs
+stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Union
+
+try:  # numpy is an optional dependency of the kernel proper
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+Infinity = float("inf")
+
+
+class TimerHandle:
+    """Cancellation handle for one armed timer (or timer group)."""
+
+    __slots__ = ("_bank", "_slot", "_group", "_gen")
+
+    def __init__(self, bank: "TimerBank", slot: Optional[int],
+                 group, gen: int):
+        self._bank = bank
+        self._slot = slot
+        self._group = group
+        self._gen = gen
+
+    @property
+    def active(self) -> bool:
+        """True while the timer (or any timer of the group) is pending."""
+        if self._group is not None:
+            return not self._group.done()
+        return self._bank._gens[self._slot] == self._gen
+
+    def cancel(self) -> None:
+        """Cancel without firing.  Safe to call twice, O(1)."""
+        if self._group is not None:
+            self._group.cancelled = True
+        elif self._bank._gens[self._slot] == self._gen:
+            self._bank._clear_slot(self._slot)
+
+
+class _Group:
+    """A batch of timers armed together (``arm_array``), drained by a
+    cursor over the time-sorted arrays."""
+
+    __slots__ = ("times", "order", "fn", "cursor", "cancelled")
+
+    def __init__(self, times, order, fn):
+        self.times = times     # fire times, ascending
+        self.order = order     # original indices, stable at time ties
+        self.fn = fn
+        self.cursor = 0
+        self.cancelled = False
+
+    def next_time(self) -> float:
+        if self.done():
+            return Infinity
+        return float(self.times[self.cursor])
+
+    def done(self) -> bool:
+        return self.cancelled or self.cursor >= len(self.times)
+
+    def remaining(self) -> int:
+        return 0 if self.cancelled else len(self.times) - self.cursor
+
+
+class TimerBank:
+    """Array-backed timers sharing one sentinel event in the kernel queue.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`~repro.simkernel.core.Simulator`.
+    initial_capacity:
+        Starting size of the single-timer arrays; they double on demand.
+
+    Examples
+    --------
+    ``arm`` replaces a Timeout-plus-callback for a single deadline, and
+    ``arm_array`` replaces a whole generator loop over a trace::
+
+        bank = TimerBank(sim)
+        bank.arm(5.0, lambda now: ...)           # fires once at now+5
+        bank.arm_array([1.0, 2.5], on_indices)   # on_indices(array([0])) at
+                                                 # t+1, on_indices(array([1]))
+                                                 # at t+2.5
+    """
+
+    def __init__(self, sim, initial_capacity: int = 64):
+        if _np is None:
+            raise RuntimeError(
+                "TimerBank requires numpy; use the plain (non-vectorized) "
+                "timer path instead"
+            )
+        if initial_capacity < 1:
+            raise ValueError("initial_capacity must be >= 1")
+        self.sim = sim
+        n = initial_capacity
+        self._times = _np.full(n, Infinity)
+        self._seqs = _np.zeros(n, dtype=_np.int64)
+        self._fns: List[Optional[Callable]] = [None] * n
+        self._gens: List[int] = [0] * n
+        self._free: List[int] = list(range(n - 1, -1, -1))
+        self._live_singles = 0
+        self._arm_counter = 0
+        self._groups: List[_Group] = []
+        #: The one kernel event representing every pending timer.
+        self._sentinel = None
+        self._armed_at = Infinity
+
+    def __len__(self) -> int:
+        """Number of pending timers (singles plus group remainders)."""
+        return self._live_singles + sum(g.remaining() for g in self._groups)
+
+    # -- arming ----------------------------------------------------------
+
+    def arm(self, delay: float, fn: Callable[[float], None]) -> TimerHandle:
+        """Fire ``fn(now)`` once, ``delay`` simulated seconds from now."""
+        if not 0.0 <= delay < Infinity:
+            raise ValueError(
+                f"delay must be finite and non-negative, got {delay}")
+        t = self.sim.now + delay
+        if not self._free:
+            self._grow()
+        slot = self._free.pop()
+        self._times[slot] = t
+        self._fns[slot] = fn
+        self._arm_counter += 1
+        self._seqs[slot] = self._arm_counter
+        self._live_singles += 1
+        self._wake_at(t)
+        return TimerHandle(self, slot, None, self._gens[slot])
+
+    def arm_array(self, delays: Union[Sequence[float], "object"],
+                  fn: Callable[["object", float], None]) -> TimerHandle:
+        """Arm a whole array of timers in one call.
+
+        ``delays[i]`` fires ``delays[i]`` seconds from now; at each
+        distinct deadline ``fn(indices, now)`` receives the NumPy array
+        of original indices due at that instant (ascending at ties).
+        """
+        d = _np.asarray(delays, dtype=float)
+        if d.ndim != 1 or d.size == 0:
+            raise ValueError("delays must be a non-empty 1-d array")
+        if not bool(_np.all((d >= 0.0) & _np.isfinite(d))):
+            raise ValueError("delays must all be finite and non-negative")
+        times = self.sim.now + d
+        order = _np.argsort(times, kind="stable")
+        group = _Group(times[order], order, fn)
+        self._groups.append(group)
+        self._wake_at(group.next_time())
+        return TimerHandle(self, None, group, 0)
+
+    # -- internals -------------------------------------------------------
+
+    def _grow(self) -> None:
+        old = len(self._fns)
+        new = old * 2
+        times = _np.full(new, Infinity)
+        times[:old] = self._times
+        self._times = times
+        seqs = _np.zeros(new, dtype=_np.int64)
+        seqs[:old] = self._seqs
+        self._seqs = seqs
+        self._fns.extend([None] * old)
+        self._gens.extend([0] * old)
+        self._free.extend(range(new - 1, old - 1, -1))
+
+    def _clear_slot(self, slot: int) -> None:
+        self._times[slot] = Infinity
+        self._fns[slot] = None
+        self._gens[slot] += 1
+        self._free.append(slot)
+        self._live_singles -= 1
+
+    def _wake_at(self, t: float) -> None:
+        """Ensure the sentinel fires no later than ``t``."""
+        if t < self._armed_at:
+            if self._sentinel is not None:
+                self._sentinel.deschedule()
+            self._armed_at = t
+            self._sentinel = self.sim.call_in(t - self.sim.now, self._drain)
+
+    def _drain(self, _event) -> None:
+        """Sentinel callback: fire everything due, re-arm at the next
+        deadline."""
+        now = self.sim.now
+        self._sentinel = None
+        self._armed_at = Infinity
+
+        if self._live_singles:
+            due = _np.nonzero(self._times <= now)[0]
+            if due.size:
+                # Fire in arm order so same-seed runs are reproducible.
+                for slot in due[_np.argsort(self._seqs[due], kind="stable")]:
+                    fn = self._fns[slot]
+                    self._clear_slot(slot)
+                    fn(now)
+
+        if self._groups:
+            # Creation order; groups armed by the callbacks above are
+            # covered by their own _wake_at.
+            for group in list(self._groups):
+                if group.done():
+                    continue
+                hi = int(_np.searchsorted(group.times, now, side="right"))
+                if hi > group.cursor:
+                    indices = group.order[group.cursor:hi]
+                    group.cursor = hi
+                    group.fn(indices, now)
+            self._groups = [g for g in self._groups if not g.done()]
+
+        nxt = Infinity
+        if self._live_singles:
+            nxt = float(self._times.min())
+        for group in self._groups:
+            t = group.next_time()
+            if t < nxt:
+                nxt = t
+        if nxt < Infinity:
+            self._wake_at(nxt)
