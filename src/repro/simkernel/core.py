@@ -94,7 +94,10 @@ class Simulator:
                 f"delay must be finite and non-negative, got {delay}")
         self._seq += 1
         self._queue.push((self._now + delay, priority, self._seq, event))
-        if delay == 0.0 and priority < self._batch_priority:
+        # Preemption must match the entry's actual landing time: a tiny
+        # positive delay can be absorbed by float addition at large
+        # clock values, landing the entry at the current instant.
+        if self._now + delay == self._now and priority < self._batch_priority:
             self._preempted = True
 
     def call_in(self, delay: float, fn, priority: int = NORMAL) -> Event:

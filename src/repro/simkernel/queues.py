@@ -188,11 +188,16 @@ class CalendarQueue:
             day = days[0]
             bucket = buckets.get(day)
             if bucket is not None:
-                while bucket and bucket[0][3]._descheduled:
-                    del bucket[0]
-                    self._size -= 1
-                    if self._dead:
-                        self._dead -= 1
+                # Prune the stale prefix in one pass: per-entry del
+                # bucket[0] would shift the whole list each time, O(n^2)
+                # when dead entries concentrate in one large bucket.
+                i, n = 0, len(bucket)
+                while i < n and bucket[i][3]._descheduled:
+                    i += 1
+                if i:
+                    del bucket[:i]
+                    self._size -= i
+                    self._dead -= min(self._dead, i)
                 if bucket:
                     return bucket, day
                 del buckets[day]

@@ -213,7 +213,15 @@ class TimerBank:
             due = _np.nonzero(self._times <= now)[0]
             if due.size:
                 # Fire in arm order so same-seed runs are reproducible.
-                for slot in due[_np.argsort(self._seqs[due], kind="stable")]:
+                # Snapshot (slot, gen) pairs: a callback may cancel a
+                # co-due timer (stale gen -> skip), and a re-arm during
+                # this drain may recycle a freed slot (fresh gen, also
+                # skipped here; its own _wake_at covers it).
+                order = due[_np.argsort(self._seqs[due], kind="stable")]
+                pending = [(int(slot), self._gens[slot]) for slot in order]
+                for slot, gen in pending:
+                    if self._gens[slot] != gen:
+                        continue
                     fn = self._fns[slot]
                     self._clear_slot(slot)
                     fn(now)

@@ -181,6 +181,27 @@ def test_mid_batch_urgent_preemption_matches_across_backends():
     assert run("calendar") == heap_log
 
 
+def test_tiny_delay_urgent_preempts_at_large_clock():
+    """A positive delay absorbed by float addition (now + d == now)
+    lands at the current instant and must preempt the running batch
+    exactly like delay == 0.0 does."""
+    base = float(2 ** 33)  # +1.0 is exact here, +1e-9 is absorbed
+    assert base + 1e-9 == base
+    for backend in BACKENDS:
+        sim = Simulator(initial_time=base - 1.0, queue=backend)
+        log = []
+
+        def first(_ev):
+            log.append("first")
+            sim.call_in(1e-9, lambda _e: log.append("urgent"),
+                        priority=URGENT)
+
+        sim.call_in(1.0, first)
+        sim.call_in(1.0, lambda _e: log.append("second"))
+        sim.run()
+        assert log == ["first", "urgent", "second"], backend
+
+
 def test_batch_member_descheduled_by_earlier_member():
     """An event cancelled by an earlier same-batch callback never runs."""
     for backend in BACKENDS:
@@ -243,6 +264,22 @@ def test_compaction_drops_dead_entries(backend):
     sim.run()
     assert len(fired) == 0  # callbacks above record nothing
     assert len(q) == 0
+
+
+def test_calendar_prunes_dead_prefix_below_compaction_threshold():
+    """A large dead prefix concentrated in one bucket is pruned without
+    compaction (size below COMPACT_MIN) and the live tail survives."""
+    sim = Simulator(queue=CalendarQueue(bucket_width=1e9))
+    n = COMPACT_MIN - 112  # whole queue stays below the compaction floor
+    events = [sim.call_in(float(i), lambda _e: None) for i in range(n)]
+    log = []
+    sim.call_in(float(n), lambda _e: log.append(sim.now))
+    for ev in events:
+        ev.deschedule()
+    assert sim.peek() == float(n)
+    sim.run()
+    assert log == [float(n)]
+    assert len(sim.queue_backend) == 0
 
 
 def test_deschedule_is_invisible_to_peek_across_backends():
@@ -343,6 +380,46 @@ def test_timerbank_rearm_during_drain():
     bank.arm(4.0, lambda n: log.append(("last", n)))
     sim.run()
     assert log == [("first", 1.0), ("nested", 1.5), ("last", 4.0)]
+
+
+def test_timerbank_codue_callback_cancels_codue_timer():
+    """A co-due callback cancelling a timer due at the same instant must
+    suppress it — not crash the drain or double-free the slot."""
+    sim = Simulator()
+    bank = TimerBank(sim)
+    log = []
+    handles = {}
+
+    def first(now):
+        log.append("first")
+        handles["second"].cancel()
+
+    bank.arm(1.0, first)
+    handles["second"] = bank.arm(1.0, lambda now: log.append("second"))
+    sim.run()
+    assert log == ["first"]
+    assert len(bank) == 0
+
+
+def test_timerbank_rearm_recycles_cancelled_codue_slot():
+    """A re-arm during a drain may claim a slot freed by a co-due
+    cancellation; the new timer must fire at its own deadline, not be
+    swept up (or cleared) by the in-progress drain."""
+    sim = Simulator()
+    bank = TimerBank(sim, initial_capacity=2)
+    log = []
+    handles = {}
+
+    def first(now):
+        log.append(("first", now))
+        handles["second"].cancel()
+        bank.arm(1.0, lambda n: log.append(("rearmed", n)))
+
+    bank.arm(1.0, first)
+    handles["second"] = bank.arm(1.0, lambda now: log.append(("second", now)))
+    sim.run()
+    assert log == [("first", 1.0), ("rearmed", 2.0)]
+    assert len(bank) == 0
 
 
 def test_timerbank_matches_plain_timeouts():
