@@ -1,0 +1,99 @@
+"""Shared metadata block for every ``BENCH_*.json`` artifact.
+
+The perf-regression harness (``benchmarks/compare.py``) compares the
+current artifacts against committed baselines; that only makes sense
+when both sides declare *what produced them*.  Every bench emitter
+therefore stamps its payload with one common ``meta`` block:
+
+``schema``
+    ``repro.bench-meta/1``.
+``git_sha``
+    The commit the numbers were measured at (``None`` outside a git
+    checkout — e.g. an sdist build).
+``python`` / ``implementation`` / ``platform``
+    Interpreter and machine; compare.py warns when they differ from the
+    baseline's, because cross-machine wall-clock deltas are noise.
+``scale``
+    ``"ci"`` under ``KERNEL_BENCH_SCALE=ci``, else ``"full"`` — the
+    baseline file is selected per scale, never compared across scales.
+
+Emitters call :func:`write_payload` (whole-artifact writers) or
+:func:`merge_payload` (section-at-a-time writers like ``bench_obs``);
+both inject/refresh the ``meta`` block on every write.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform as _platform
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+ROOT = HERE.parent  # BENCH_*.json artifacts live at the repo root
+
+META_SCHEMA = "repro.bench-meta/1"
+
+
+def git_sha() -> "str | None":
+    """Current HEAD commit, or ``None`` when git/the repo is absent."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=ROOT, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def bench_scale() -> str:
+    """``"ci"`` for the capped smoke configuration, else ``"full"``."""
+    return "ci" if os.environ.get("KERNEL_BENCH_SCALE") == "ci" else "full"
+
+
+def bench_meta(scale: "str | None" = None) -> dict:
+    """The common provenance block (see module docstring)."""
+    return {
+        "schema": META_SCHEMA,
+        "git_sha": git_sha(),
+        "python": _platform.python_version(),
+        "implementation": _platform.python_implementation(),
+        "platform": f"{sys.platform}-{_platform.machine()}",
+        "scale": scale if scale is not None else bench_scale(),
+    }
+
+
+def artifact_path(name: str) -> Path:
+    """Repo-root path of artifact ``name`` (``BENCH_<name>.json``)."""
+    return ROOT / f"BENCH_{name}.json"
+
+
+def write_payload(name: str, payload: dict,
+                  scale: "str | None" = None, indent: int = 2) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root with ``meta``
+    injected; returns the path."""
+    doc = dict(payload)
+    doc["meta"] = bench_meta(scale)
+    path = artifact_path(name)
+    path.write_text(json.dumps(doc, indent=indent, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def merge_payload(name: str, section: str, data: dict,
+                  scale: "str | None" = None, indent: int = 1) -> Path:
+    """Merge ``section`` into ``BENCH_<name>.json``, refreshing ``meta``
+    (for benches whose scenarios each write their own section)."""
+    path = artifact_path(name)
+    payload = {}
+    if path.exists():
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    payload[section] = data
+    payload["meta"] = bench_meta(scale)
+    path.write_text(json.dumps(payload, indent=indent, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path

@@ -19,7 +19,6 @@ exported with ``MetricsRecorder.to_dict`` / ``dump_csv`` to
 ``BENCH_controlplane.{json,csv}`` beside this file.
 """
 
-import json
 import time
 from pathlib import Path
 
@@ -28,6 +27,7 @@ import numpy as np
 from repro.controlplane import ControlPlane, FailureInjector, SchedulerConfig
 from repro.testbeds import SiteSpec, sky_testbed
 
+from _meta import write_payload
 from _tables import fmt, print_table
 
 N_JOBS = 1000
@@ -146,8 +146,7 @@ def test_throughput_1000_jobs_deterministic(benchmark):
 
     # Export the trajectories for plotting / regression diffing.
     exported = first["metrics"].to_dict()
-    json_path = ROOT / "BENCH_controlplane.json"
-    json_path.write_text(json.dumps(exported, indent=1))
+    write_payload("controlplane", {"series": exported}, indent=1)
     rows_written = first["metrics"].dump_csv(
         ROOT / "BENCH_controlplane.csv",
         names=["queue.depth", "lease.utilization", "jobs.completed"],

@@ -15,30 +15,21 @@ plane's bottleneck.  Three numbers, written to ``BENCH_eventlog.json``:
    cold-start path of cross-process recovery.
 """
 
-import json
 import time
-from pathlib import Path
 
 from repro.controlplane import (EventLog, NULL_LOG, rebuild,
                                 validate_events)
 from repro.simkernel import Simulator
 
+from _meta import merge_payload
 from _tables import fmt, print_table
 
-HERE = Path(__file__).resolve().parent
-ROOT = HERE.parent  # BENCH_* artifacts live at the repo root
-PAYLOAD_PATH = ROOT / "BENCH_eventlog.json"
 
 N_EVENTS = 30_000
 
 
 def _merge_payload(section: str, data: dict) -> None:
-    payload = {}
-    if PAYLOAD_PATH.exists():
-        payload = json.loads(PAYLOAD_PATH.read_text(encoding="utf-8"))
-    payload[section] = data
-    PAYLOAD_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True),
-                            encoding="utf-8")
+    merge_payload("eventlog", section, data)
 
 
 def _synthetic_workload(log, n: int) -> None:

@@ -16,19 +16,16 @@ backend, asserting byte-identical completions and recording both wall
 clocks.  Results are exported to ``BENCH_flows.json`` at the repo root.
 """
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
 
 from repro.network import FlowScheduler, Site, Topology
 from repro.simkernel import Simulator
 
+from _meta import write_payload
 from _tables import fmt, print_table
 
-HERE = Path(__file__).resolve().parent
-ROOT = HERE.parent  # BENCH_*.json artifacts live at the repo root
 
 N_SITES = 8
 N_FLOWS = 1300
@@ -141,7 +138,7 @@ def test_flow_churn_incremental_vs_full(benchmark):
         "incremental_stats": inc["stats"],
         "full_stats": full["stats"],
     }
-    (ROOT / "BENCH_flows.json").write_text(json.dumps(out, indent=2) + "\n")
+    write_payload("flows", out)
 
     assert inc["peak_concurrent"] >= 500
     assert speedup >= 3.0

@@ -39,19 +39,16 @@ at the repo root.  Set ``KERNEL_BENCH_SCALE=ci`` for the capped smoke
 variant (same schema, smaller constants, relaxed thresholds).
 """
 
-import json
 import os
 import time
-from pathlib import Path
 
 import numpy as np
 
 from repro.simkernel import Simulator, TimerBank
 
+from _meta import write_payload
 from _tables import fmt, print_table
 
-HERE = Path(__file__).resolve().parent
-ROOT = HERE.parent  # BENCH_*.json artifacts live at the repo root
 
 CI_SCALE = os.environ.get("KERNEL_BENCH_SCALE") == "ci"
 
@@ -233,7 +230,7 @@ def test_kernel_hot_path(benchmark):
                 heap_over_vec(results),
         },
     }
-    (ROOT / "BENCH_kernel.json").write_text(json.dumps(out, indent=2) + "\n")
+    write_payload("kernel", out)
 
     # Acceptance: the calendar backend sustains >= 1M events/sec in the
     # timer-dominated regime at >= 3x the heap's wall clock (relaxed

@@ -14,21 +14,17 @@ Two questions, answered with numbers in ``BENCH_obs.json``:
    not linear in the history.
 """
 
-import json
 import math
 import time
-from pathlib import Path
 
 from repro.metrics import MetricsRecorder
 from repro.obs import NULL_TRACER, Tracer
 from repro.obs.windows import SlidingWindow, _interpolated_percentile
 from repro.simkernel import Simulator
 
+from _meta import merge_payload
 from _tables import fmt, print_table
 
-HERE = Path(__file__).resolve().parent
-ROOT = HERE.parent  # BENCH_* artifacts live at the repo root
-PAYLOAD_PATH = ROOT / "BENCH_obs.json"
 
 N_OPS = 50_000
 WINDOW = 512
@@ -36,12 +32,7 @@ STREAM = 4096
 
 
 def _merge_payload(section: str, data: dict) -> None:
-    payload = {}
-    if PAYLOAD_PATH.exists():
-        payload = json.loads(PAYLOAD_PATH.read_text(encoding="utf-8"))
-    payload[section] = data
-    PAYLOAD_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True),
-                            encoding="utf-8")
+    merge_payload("obs", section, data)
 
 
 def _ns_per_op(fn, n: int) -> float:

@@ -18,9 +18,7 @@ Expected shape: lost work classic >> checkpoint > migratable ~ 0, with
 checkpointing paying a steady WAN tax that migration does not.
 """
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
 
@@ -31,13 +29,12 @@ from repro.sky import CheckpointingSpotManager, MigratableSpotManager
 from repro.testbeds import SiteSpec, sky_testbed
 from repro.workloads import SpotPriceProcess, spot_price_trace, web_server
 
+from _meta import write_payload
 from _tables import fmt, print_table
 
 JOB_SECONDS = 6 * 3600.0
 N_INSTANCES = 8
 BID = 0.06
-HERE = Path(__file__).resolve().parent
-ROOT = HERE.parent  # BENCH_* artifacts live at the repo root
 
 
 def run(mode: str, seed: int):
@@ -343,7 +340,7 @@ def test_spot_backed_1000_jobs_save_over_on_demand(benchmark):
                    if k.startswith("spot.") or k in
                    ("queue.depth", "jobs.completed")},
     }
-    (ROOT / "BENCH_spot.json").write_text(json.dumps(payload, indent=1))
+    write_payload("spot", payload, indent=1)
 
 
 def tracer_spans(tracer):

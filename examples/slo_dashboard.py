@@ -26,6 +26,7 @@ from repro.obs import (
     SLOEngine,
     Tracer,
     dump_dashboard,
+    install_kernel_gauges,
 )
 from repro.testbeds import SiteSpec, sky_testbed
 from repro.workloads import SpotPriceProcess
@@ -96,6 +97,7 @@ def main():
 
     engine = SLOEngine(sim, plane.metrics, interval=30.0).start()
     build_objectives(engine)
+    install_kernel_gauges(sim, plane.metrics, interval=30.0)
 
     bus = TriggerBus()
     SLOMonitor(bus, engine)

@@ -10,7 +10,11 @@ The package sits between the simkernel and every instrumented subsystem:
 * :mod:`repro.obs.export` — Chrome trace-event / Perfetto JSON and
   structured JSONL span logs;
 * :mod:`repro.obs.critical_path` — offline dominant-chain analysis
-  with per-phase time attribution.
+  with per-phase time attribution;
+* :mod:`repro.obs.profile` — kernel self-profiling
+  (:class:`CallbackProfiler`), kernel-health snapshots
+  (:func:`kernel_stats`) and flame export (collapsed stacks,
+  speedscope JSON).
 
 Quick use::
 
@@ -30,6 +34,20 @@ from .export import (
     span_to_dict,
     spans_to_jsonl,
     to_chrome_trace,
+)
+from .profile import (
+    CallbackProfiler,
+    KernelStats,
+    NULL_PROFILER,
+    ProfileSnapshot,
+    SiteStat,
+    dump_speedscope,
+    install_kernel_gauges,
+    kernel_stats,
+    profiler_of,
+    spans_to_collapsed,
+    to_speedscope,
+    validate_speedscope,
 )
 from .instruments import (
     Counter,
@@ -56,17 +74,22 @@ __all__ = [
     "Alert",
     "AlertState",
     "BurnRatePolicy",
+    "CallbackProfiler",
     "Counter",
     "CounterWindow",
     "CriticalPathReport",
     "Gauge",
     "Histogram",
+    "KernelStats",
+    "NULL_PROFILER",
     "NULL_SPAN",
     "NULL_TRACER",
     "NullTracer",
     "Objective",
     "P2Quantile",
+    "ProfileSnapshot",
     "Segment",
+    "SiteStat",
     "SeriesStats",
     "SLOEngine",
     "SlidingWindow",
@@ -80,14 +103,21 @@ __all__ = [
     "dump_chrome_trace",
     "dump_dashboard",
     "dump_jsonl",
+    "dump_speedscope",
     "health_rollups",
+    "install_kernel_gauges",
+    "kernel_stats",
     "labeled_name",
+    "profiler_of",
     "render_html",
     "rollup",
     "series_stats",
     "span_to_dict",
+    "spans_to_collapsed",
     "spans_to_jsonl",
     "split_labeled_name",
     "to_chrome_trace",
+    "to_speedscope",
     "tracer_of",
+    "validate_speedscope",
 ]

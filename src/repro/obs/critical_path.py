@@ -99,6 +99,31 @@ class CriticalPathReport:
         return dict(sorted(totals.items(),
                            key=lambda kv: (-kv[1], kv[0])))
 
+    def stack_of(self, span) -> List[str]:
+        """Span names from the root down to ``span`` (the flame-graph
+        stack for a segment attributed to it)."""
+        names: List[str] = []
+        current = span
+        while current is not None:
+            names.append(current.name)
+            current = self._by_id.get(current.parent_id)
+        names.reverse()
+        return names
+
+    def to_collapsed(self) -> str:
+        """Collapsed-stack text (``flamegraph.pl`` input) of the
+        critical path: one line per distinct root-to-span chain, value =
+        the chain's critical-path microseconds.  Because segments tile
+        the root exactly, the flame's total width is the end-to-end
+        time."""
+        totals: Dict[str, float] = {}
+        for seg in self.segments:
+            key = ";".join(self.stack_of(seg.span))
+            totals[key] = totals.get(key, 0.0) + seg.duration
+        lines = [f"{stack} {int(duration * 1e6)}"
+                 for stack, duration in totals.items()]
+        return "\n".join(sorted(lines)) + "\n" if lines else ""
+
     def format(self, key: Optional[str] = None, top: int = 8) -> str:
         """One-line human summary, largest contributors first."""
         parts = self.by_attribute(key) if key else self.by_name()

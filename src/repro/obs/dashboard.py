@@ -7,6 +7,11 @@ table — into one JSON-ready dict (schema ``repro.watchtower/1``).
 :func:`render_html` turns that payload into a single HTML file with
 inline styles and SVG sparklines: no external assets, openable from a
 CI artifact tab.  :func:`dump_dashboard` writes both.
+
+The payload also carries a ``kernel`` section — the
+:func:`~repro.obs.profile.kernel_stats` snapshot of the simulator that
+drives the recorder (queue depth, dead-entry ratio, compactions,
+dispatch counters, TimerBank occupancy) — rendered as its own panel.
 """
 
 from __future__ import annotations
@@ -34,6 +39,8 @@ def dashboard_payload(
     dimensions: Sequence[str] = DEFAULT_DIMENSIONS,
 ) -> dict:
     """The dashboard's data model; every value JSON-serializable."""
+    from .profile import kernel_stats
+
     payload = {
         "schema": SCHEMA,
         "generated_at": metrics.sim.now,
@@ -41,6 +48,7 @@ def dashboard_payload(
         "alerts": [a.to_dict() for a in slo.alerts] if slo is not None else [],
         "rollups": health_rollups(metrics, dimensions),
         "series": flat_series_summary(metrics),
+        "kernel": kernel_stats(metrics.sim).to_dict(),
     }
     return payload
 
@@ -109,6 +117,32 @@ def render_html(payload: dict, metrics=None) -> str:
         f"<p>schema <code>{html.escape(payload['schema'])}</code> · "
         f"generated at sim time <b>{_fmt(payload['generated_at'])}</b></p>",
     ]
+
+    kernel = payload.get("kernel")
+    if kernel:
+        parts.append("<h2>Kernel</h2>")
+        parts.append("<table><tr>")
+        columns = [
+            ("backend", "backend"), ("queue depth", "queue_depth"),
+            ("dead", "dead_entries"), ("dead ratio", "dead_ratio"),
+            ("compactions", "compactions"),
+            ("events", "events_dispatched"),
+            ("batches", "batches_dispatched"), ("max batch", "max_batch"),
+            ("preemptions", "preemptions"),
+            ("timers pending", "timers_pending"),
+        ]
+        if "bucket_width" in kernel:
+            columns += [("bucket width", "bucket_width"),
+                        ("buckets", "buckets"),
+                        ("max bucket", "max_bucket"),
+                        ("mean bucket", "mean_bucket")]
+        parts.append("".join(f"<th>{html.escape(label)}</th>"
+                             for label, _ in columns))
+        parts.append("</tr><tr>")
+        parts.append("".join(
+            f"<td class='num'>{_fmt(kernel.get(key))}</td>"
+            for _, key in columns))
+        parts.append("</tr></table>")
 
     parts.append("<h2>SLO objectives</h2>")
     if payload["objectives"]:

@@ -7,7 +7,7 @@ hypervisor model, clouds, MapReduce — is built as processes on this
 kernel.
 """
 
-from .core import Infinity, Simulator
+from .core import Infinity, NULL_PROFILER, Simulator
 from .errors import EmptySchedule, Interrupt, SimulationError, StopSimulation
 from .events import (
     AllOf,
@@ -49,6 +49,7 @@ __all__ = [
     "Infinity",
     "Interrupt",
     "NORMAL",
+    "NULL_PROFILER",
     "PriorityRequest",
     "PriorityResource",
     "Process",

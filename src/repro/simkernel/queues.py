@@ -61,14 +61,33 @@ class HeapQueue:
 
     name = "heap"
 
-    __slots__ = ("_heap", "_dead")
+    __slots__ = ("_heap", "_dead", "compactions")
 
     def __init__(self):
         self._heap: List[Entry] = []
         self._dead = 0
+        #: Lifetime count of :meth:`compact` runs (kernel-health feed).
+        self.compactions = 0
 
     def __len__(self) -> int:
         return len(self._heap)
+
+    @property
+    def dead(self) -> int:
+        """Descheduled entries believed still queued (may overshoot —
+        see the module docstring; compaction recounts exactly)."""
+        return self._dead
+
+    def stats(self) -> dict:
+        """Health snapshot: depth, dead-entry estimate, compactions."""
+        depth = len(self._heap)
+        return {
+            "backend": self.name,
+            "depth": depth,
+            "dead": self._dead,
+            "dead_ratio": (self._dead / depth) if depth else 0.0,
+            "compactions": self.compactions,
+        }
 
     def push(self, entry: Entry) -> None:
         heapq.heappush(self._heap, entry)
@@ -131,6 +150,7 @@ class HeapQueue:
         self._heap = [e for e in self._heap if not e[3]._descheduled]
         heapq.heapify(self._heap)
         self._dead = 0
+        self.compactions += 1
 
 
 class CalendarQueue:
@@ -148,7 +168,8 @@ class CalendarQueue:
 
     name = "calendar"
 
-    __slots__ = ("_width", "_buckets", "_days", "_size", "_dead")
+    __slots__ = ("_width", "_buckets", "_days", "_size", "_dead",
+                 "compactions")
 
     def __init__(self, bucket_width: float = 1.0):
         if not bucket_width > 0:
@@ -162,9 +183,45 @@ class CalendarQueue:
         self._days: List[int] = []
         self._size = 0
         self._dead = 0
+        #: Lifetime count of :meth:`compact` runs (kernel-health feed).
+        self.compactions = 0
 
     def __len__(self) -> int:
         return self._size
+
+    @property
+    def dead(self) -> int:
+        """Descheduled entries believed still queued (may overshoot —
+        see the module docstring; compaction recounts exactly)."""
+        return self._dead
+
+    @property
+    def bucket_width(self) -> float:
+        """Simulated seconds per day bucket (the adaptive-width tuning
+        follow-up reads head density against this)."""
+        return self._width
+
+    def bucket_occupancy(self) -> Dict[int, int]:
+        """Entries per live day bucket, keyed by day index — the raw
+        head-density signal for adaptive bucket-width tuning."""
+        return {day: len(bucket)
+                for day, bucket in self._buckets.items() if bucket}
+
+    def stats(self) -> dict:
+        """Health snapshot: depth, dead estimate, bucket shape."""
+        occupancy = [len(b) for b in self._buckets.values() if b]
+        return {
+            "backend": self.name,
+            "depth": self._size,
+            "dead": self._dead,
+            "dead_ratio": (self._dead / self._size) if self._size else 0.0,
+            "compactions": self.compactions,
+            "bucket_width": self._width,
+            "buckets": len(occupancy),
+            "max_bucket": max(occupancy, default=0),
+            "mean_bucket": (sum(occupancy) / len(occupancy)
+                            if occupancy else 0.0),
+        }
 
     def push(self, entry: Entry) -> None:
         day = int(entry[0] / self._width)
@@ -265,6 +322,7 @@ class CalendarQueue:
         self._days = sorted(buckets)  # a sorted list is a valid heap
         self._size = size
         self._dead = 0
+        self.compactions += 1
 
 
 #: Backend registry for ``Simulator(queue=...)`` string specs.

@@ -23,6 +23,7 @@ stay byte-identical.
 
 from __future__ import annotations
 
+import weakref
 from typing import Callable, List, Optional, Sequence, Union
 
 try:  # numpy is an optional dependency of the kernel proper
@@ -128,10 +129,25 @@ class TimerBank:
         #: The one kernel event representing every pending timer.
         self._sentinel = None
         self._armed_at = Infinity
+        # Register with the kernel (weakly, so a dropped bank does not
+        # linger) — KernelStats reports per-bank occupancy from here.
+        banks = getattr(sim, "_timer_banks", None)
+        if banks is not None:
+            banks.append(weakref.ref(self))
 
     def __len__(self) -> int:
         """Number of pending timers (singles plus group remainders)."""
         return self._live_singles + sum(g.remaining() for g in self._groups)
+
+    def stats(self) -> dict:
+        """Occupancy snapshot: pending timers, slot capacity, groups."""
+        return {
+            "pending": len(self),
+            "singles": self._live_singles,
+            "groups": len(self._groups),
+            "capacity": len(self._fns),
+            "armed_at": self._armed_at,
+        }
 
     # -- arming ----------------------------------------------------------
 

@@ -545,3 +545,58 @@ def test_vectorized_spot_prices_match_plain():
         return ([(pt.time, pt.price) for pt in proc.history], changes)
 
     assert run(False) == run(True)
+
+
+# ---------------------------------------------------------------------------
+# Health introspection: stats(), compactions, bucket occupancy
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", ["heap", "calendar"])
+def test_stats_snapshot_tracks_depth_and_dead(backend):
+    sim = Simulator(queue=backend)
+    events = [sim.call_in(float(t), lambda _ev: None)
+              for t in range(1, 21)]
+    stats = sim.queue_backend.stats()
+    assert stats["backend"] == backend
+    assert stats["depth"] == 20
+    assert stats["dead"] == 0 and stats["dead_ratio"] == 0.0
+    for ev in events[:5]:
+        ev.deschedule()
+    stats = sim.queue_backend.stats()
+    assert stats["dead"] == 5
+    assert stats["dead_ratio"] == pytest.approx(0.25)
+    sim.run()
+    assert sim.queue_backend.stats()["depth"] == 0
+
+
+@pytest.mark.parametrize("backend", ["heap", "calendar"])
+def test_compaction_counter_increments_past_threshold(backend):
+    sim = Simulator(queue=backend)
+    events = [sim.call_in(1.0 + t * 0.01, lambda _ev: None)
+              for t in range(COMPACT_MIN * 2)]
+    queue = sim.queue_backend
+    assert queue.compactions == 0
+    for ev in events[: int(len(events) * 0.7)]:
+        ev.deschedule()
+    sim.run()
+    assert queue.compactions >= 1
+    stats = queue.stats()
+    assert stats["compactions"] == queue.compactions
+    assert stats["depth"] == 0 and stats["dead"] == 0
+
+
+def test_calendar_stats_and_occupancy_describe_buckets():
+    queue = CalendarQueue(bucket_width=1.0)
+    sim = Simulator(queue=queue)
+    for t in range(10):
+        for _ in range(3):
+            sim.call_in(0.5 + float(t), lambda _ev: None)
+    stats = queue.stats()
+    assert stats["bucket_width"] == 1.0
+    assert stats["buckets"] == 10
+    assert stats["max_bucket"] == 3
+    assert stats["mean_bucket"] == pytest.approx(3.0)
+    occupancy = queue.bucket_occupancy()
+    assert len(occupancy) == 10
+    assert all(n == 3 for n in occupancy.values())
+    assert sum(occupancy.values()) == stats["depth"]
