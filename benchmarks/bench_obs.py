@@ -18,7 +18,13 @@ import math
 import time
 
 from repro.metrics import MetricsRecorder
-from repro.obs import NULL_TRACER, Tracer
+from repro.obs import (
+    MemorySpanSink,
+    NULL_TRACER,
+    NullSpanSink,
+    TraceSampler,
+    Tracer,
+)
 from repro.obs.windows import SlidingWindow, _interpolated_percentile
 from repro.simkernel import Simulator
 
@@ -118,6 +124,105 @@ def test_instrument_overhead(benchmark):
         "span_traced_ns": spans["traced_ns"],
         "traced_over_null": ratio_traced,
         "n_ops": N_OPS,
+    })
+
+
+# -- streaming sink / tail sampler overhead ------------------------------
+
+
+def _stream_traces(tracer, sim, n_traces):
+    """n_traces two-span traces with deterministic duration spread."""
+    for i in range(n_traces):
+        sim._now = float(i)
+        root = tracer.start("job")
+        child = tracer.start("work", parent=root)
+        sim._now = float(i) + 0.1 + (i * 2654435761 % 1000) / 2000.0
+        child.end()
+        root.end()
+
+
+def measure_sink_overhead():
+    n_traces = N_OPS // 2  # two spans per trace -> N_OPS spans
+    results = {}
+
+    def run(make_tracer):
+        sim = Simulator()
+        tracer = make_tracer(sim)
+        start = time.perf_counter()
+        _stream_traces(tracer, sim, n_traces)
+        ns = (time.perf_counter() - start) / N_OPS * 1e9
+        return ns, tracer
+
+    def null_spans(n):
+        for _ in range(n):
+            NULL_TRACER.start("op").end()
+
+    results["null_ns"] = _ns_per_op(null_spans, N_OPS)
+    results["classic_ns"], _ = run(lambda sim: Tracer(sim))
+    results["stream_full_ns"], full = run(
+        lambda sim: Tracer(sim, sink=NullSpanSink(), max_resident=1024))
+    results["stream_sampled_ns"], sampled = run(
+        lambda sim: Tracer(sim, sink=NullSpanSink(),
+                           sampler=TraceSampler(keep_fraction=0.01,
+                                                seed=9),
+                           max_resident=1024))
+    results["full_resident_peak"] = full.stats()["resident_peak"]
+    results["sampled_resident_peak"] = sampled.stats()["resident_peak"]
+    results["sampled_kept_traces"] = sum(sampled.sampler.kept.values())
+    results["sampled_dropped_traces"] = sampled.sampler.dropped
+
+    # Determinism: two same-seed sampled runs, byte-identical archives.
+    def archive():
+        sim = Simulator()
+        sink = MemorySpanSink()
+        tracer = Tracer(sim, sink=sink,
+                        sampler=TraceSampler(keep_fraction=0.02, seed=5),
+                        max_resident=64)
+        _stream_traces(tracer, sim, 2000)
+        tracer.flush()
+        return sink.to_jsonl()
+
+    results["sampled_log_mismatch"] = int(archive() != archive())
+    return results
+
+
+def test_sink_sampler_overhead(benchmark):
+    r = benchmark.pedantic(measure_sink_overhead, rounds=3, iterations=1)
+    stream_over_classic = r["stream_full_ns"] / r["classic_ns"]
+    sampled_over_classic = r["stream_sampled_ns"] / r["classic_ns"]
+
+    print_table(
+        f"STREAMING SINK OVERHEAD ({N_OPS} spans each)",
+        ["pipeline", "ns/span"],
+        [("NULL_TRACER", fmt(r["null_ns"], 0)),
+         ("classic (all in memory)", fmt(r["classic_ns"], 0)),
+         ("streaming, full keep", fmt(r["stream_full_ns"], 0)),
+         ("streaming, 1% tail-sampled", fmt(r["stream_sampled_ns"], 0))],
+    )
+    print(f"stream/classic = {stream_over_classic:.2f}x, "
+          f"sampled/classic = {sampled_over_classic:.2f}x, "
+          f"resident peak full={r['full_resident_peak']} "
+          f"sampled={r['sampled_resident_peak']}")
+
+    # The bound the memory win must not cost: streaming stays within
+    # an order of magnitude of the classic append (generous for CI).
+    assert stream_over_classic < 10.0
+    assert r["sampled_log_mismatch"] == 0
+    assert r["full_resident_peak"] <= 1024
+    assert r["sampled_resident_peak"] <= 1024
+    _merge_payload("sink", {
+        "span_null_ns": r["null_ns"],
+        "span_classic_ns": r["classic_ns"],
+        "span_stream_full_ns": r["stream_full_ns"],
+        "span_stream_sampled_ns": r["stream_sampled_ns"],
+        "stream_over_classic": stream_over_classic,
+        "sampled_over_classic": sampled_over_classic,
+        "full_resident_peak": r["full_resident_peak"],
+        "sampled_resident_peak": r["sampled_resident_peak"],
+        "sampled_kept_traces": r["sampled_kept_traces"],
+        "sampled_dropped_traces": r["sampled_dropped_traces"],
+        "sampled_log_mismatch": r["sampled_log_mismatch"],
+        "n_spans": N_OPS,
     })
 
 

@@ -1,0 +1,170 @@
+"""TELEMETRY AT SCALE — streaming sink + tail sampler under load.
+
+The tentpole claim of the streaming tracer is that a run of hundreds of
+thousands of traced jobs keeps a *bounded* resident span set and a
+*deterministic* sampled archive.  This bench proves both with numbers
+in ``BENCH_obs_scale.json``:
+
+``stream``
+    ``N_TRACES`` two-span traces (a root job + a child work span, with
+    a deterministic duration spread, latency spikes, and a sprinkle of
+    errors) pushed through a sampling tracer backed by a
+    :class:`~repro.obs.NullSpanSink`.  Acceptance: the resident peak
+    never exceeds ``MAX_RESIDENT``, span conservation holds
+    (archived + resident + dropped == started), and throughput stays
+    above the scale's floor.
+
+``determinism``
+    The same workload run twice with the same sampler seed into real
+    JSONL archives.  Acceptance: the two logs are **byte-identical**
+    and every keep-class (error, slow, hash) fired.
+
+Set ``KERNEL_BENCH_SCALE=ci`` for the capped smoke variant: 100k
+traced jobs (200k spans) with a relaxed throughput floor — same schema,
+same invariants.
+"""
+
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.obs import JsonlSpanSink, NullSpanSink, TraceSampler, Tracer
+from repro.simkernel import Simulator
+
+from _meta import write_payload
+from _tables import fmt, print_table
+
+
+CI_SCALE = os.environ.get("KERNEL_BENCH_SCALE") == "ci"
+
+if CI_SCALE:
+    N_TRACES = 100_000          # the CI floor: >= 100k traced jobs
+    MIN_SPANS_PER_SEC = 2e4
+else:
+    N_TRACES = 500_000          # the million-span run
+    MIN_SPANS_PER_SEC = 5e4
+
+MAX_RESIDENT = 1024
+KEEP_FRACTION = 0.01
+SEED = 9
+
+
+def _drive(tracer, sim, n_traces):
+    """Deterministic two-span traces: duration spread via a Knuth-hash
+    ramp, a latency spike every 499th trace, an error every 997th."""
+    for i in range(n_traces):
+        sim._now = float(i)
+        root = tracer.start("job", tenant=f"t{i % 5}")
+        child = tracer.start("work", parent=root)
+        duration = 0.1 + (i * 2654435761 % 1000) / 2000.0
+        if i % 499 == 0:
+            duration += 5.0
+        sim._now = float(i) + duration
+        child.end()
+        root.end("error" if i % 997 == 0 else None)
+
+
+def run_stream():
+    """The memory-bound run: sampling tracer over a null sink."""
+    sim = Simulator()
+    tracer = Tracer(sim, sink=NullSpanSink(),
+                    sampler=TraceSampler(keep_fraction=KEEP_FRACTION,
+                                         seed=SEED),
+                    max_resident=MAX_RESIDENT)
+    start = time.perf_counter()
+    _drive(tracer, sim, N_TRACES)
+    tracer.flush()
+    wall = time.perf_counter() - start
+    stats = tracer.stats()
+    return {
+        "wall_s": wall,
+        "spans": stats["started"],
+        "spans_per_sec": stats["started"] / wall,
+        "resident_peak": stats["resident_peak"],
+        "archived": stats["archived"],
+        "dropped_spans": stats["dropped_spans"],
+        "dropped_traces": stats["dropped_traces"],
+    }
+
+
+def run_determinism(tmp: Path):
+    """Two same-seed sampled runs into real JSONL archives."""
+    logs = []
+    kept = None
+    for attempt in ("a", "b"):
+        sim = Simulator()
+        sink = JsonlSpanSink(tmp / f"{attempt}.jsonl")
+        tracer = Tracer(sim, sink=sink,
+                        sampler=TraceSampler(keep_fraction=KEEP_FRACTION,
+                                             seed=SEED),
+                        max_resident=MAX_RESIDENT)
+        _drive(tracer, sim, N_TRACES)
+        tracer.flush()
+        sink.close()
+        logs.append((tmp / f"{attempt}.jsonl").read_bytes())
+        kept = dict(tracer.sampler.kept)
+    return {
+        "log_bytes": len(logs[0]),
+        "log_spans": len(logs[0].splitlines()),
+        "log_mismatch": int(logs[0] != logs[1]),
+        "kept_error": kept.get("error", 0),
+        "kept_slow": kept.get("slow", 0),
+        "kept_hash": kept.get("hash", 0),
+        "kept_traces": sum(kept.values()),
+    }
+
+
+def test_obs_scale_smoke():
+    stream = run_stream()
+    with tempfile.TemporaryDirectory() as tmp:
+        determinism = run_determinism(Path(tmp))
+
+    print_table(
+        f"TELEMETRY AT SCALE ({N_TRACES} traced jobs, "
+        f"{'ci' if CI_SCALE else 'full'} scale)",
+        ["metric", "value"],
+        [("spans", stream["spans"]),
+         ("wall (s)", fmt(stream["wall_s"], 2)),
+         ("spans/sec", fmt(stream["spans_per_sec"], 0)),
+         ("resident peak", stream["resident_peak"]),
+         ("archived spans", stream["archived"]),
+         ("dropped spans", stream["dropped_spans"]),
+         ("sampled log (bytes)", determinism["log_bytes"]),
+         ("sampled log mismatch", determinism["log_mismatch"]),
+         ("kept error/slow/hash",
+          f"{determinism['kept_error']}/{determinism['kept_slow']}"
+          f"/{determinism['kept_hash']}")],
+    )
+
+    # The resident working set stays bounded for the whole run...
+    assert stream["spans"] == 2 * N_TRACES
+    assert stream["resident_peak"] <= MAX_RESIDENT
+    # ...nothing is lost or double-counted...
+    assert (stream["archived"] + stream["dropped_spans"]
+            <= stream["spans"])
+    assert stream["dropped_traces"] > 0.9 * N_TRACES * (1 - KEEP_FRACTION)
+    # ...the sampled archive is reproducible bytes...
+    assert determinism["log_mismatch"] == 0
+    assert determinism["log_spans"] > 0
+    assert determinism["kept_error"] > 0
+    assert determinism["kept_slow"] > 0
+    assert determinism["kept_hash"] > 0
+    # ...and the pipeline is fast enough to leave on.
+    assert stream["spans_per_sec"] >= MIN_SPANS_PER_SEC
+
+    write_payload("obs_scale", {
+        "config": {
+            "scale": "ci" if CI_SCALE else "full",
+            "n_traces": N_TRACES,
+            "max_resident": MAX_RESIDENT,
+            "keep_fraction": KEEP_FRACTION,
+            "seed": SEED,
+        },
+        "stream": stream,
+        "determinism": determinism,
+    })
+
+
+if __name__ == "__main__":
+    test_obs_scale_smoke()

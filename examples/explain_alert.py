@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Cross-signal alert forensics: from a firing SLO to its exemplar traces.
+
+A spot price spike reclaims every node on the cheap cloud with rescue
+disabled, so each reclamation episode ends in a requeue and the
+spot-rescue-rate SLO collapses to zero.  The burn-rate alert walks
+pending → firing → resolved; then :func:`repro.obs.explain` assembles
+the answer to "why did this fire?" from every signal family at once:
+
+* the **metric exemplars** captured on the breaching series (each one
+  carries the trace id that was active when the sample was recorded),
+* the **exemplar traces** themselves, read back from the tracer with
+  per-trace critical paths,
+* the **eventlog transitions** inside the alert window (the requeues
+  that sank the ratio),
+* a **kernel snapshot** for the run context.
+
+The report is written as ``explain-<objective>.json`` (machine) and
+``explain-<objective>.md`` (human) plus the dashboard with its
+drill-down panel.
+
+Run:  python examples/explain_alert.py [output-dir]
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.cloud import SpotMarket
+from repro.controlplane import ControlPlane, SchedulerConfig, SpotPolicy
+from repro.obs import (
+    BurnRatePolicy,
+    Objective,
+    SLOEngine,
+    Tracer,
+    dump_dashboard,
+    explain,
+)
+from repro.testbeds import SiteSpec, sky_testbed
+from repro.workloads import SpotPriceProcess
+
+
+def build_scenario():
+    """Two-cloud federation; the cheap cloud's spot market spikes above
+    every bid at t=600 and rescue is disabled."""
+    tb = sky_testbed(
+        sites=[SiteSpec("volatile", n_hosts=2, cores_per_host=8,
+                        on_demand_hourly=0.10, region="eu"),
+               SiteSpec("steady", n_hosts=2, cores_per_host=8,
+                        on_demand_hourly=0.12, region="eu")],
+        memory_pages=64, image_blocks=128,
+    )
+    sim = tb.sim
+    markets = {
+        "volatile": SpotMarket(
+            sim, tb.clouds["volatile"],
+            SpotPriceProcess(sim, np.array([0.0, 600.0, 1500.0]),
+                             np.array([0.02, 0.50, 0.02])),
+            reclaim_grace=60.0),
+    }
+    plane = ControlPlane(
+        sim, tb.federation, tb.image_name,
+        config=SchedulerConfig(interval=10.0, lease_term=3000.0),
+        spot_markets=markets,
+        spot_policy=SpotPolicy(rescue=False, refuge=None),
+        tracer=Tracer(sim),
+    ).start()
+    plane.register_tenant("acme", weight=1.0)
+    jobs = [plane.submit("acme", n_nodes=2, runtime=2000.0,
+                         name=f"job-{i}") for i in range(3)]
+    return tb, plane, jobs
+
+
+def main():
+    out_dir = Path(sys.argv[1] if len(sys.argv) > 1 else "explain-out")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    tb, plane, jobs = build_scenario()
+    engine = SLOEngine(tb.sim, plane.metrics, interval=45.0).start()
+    engine.add(Objective(
+        name="spot-rescue-rate",
+        series="spot.episodes.resolved",
+        good_series="spot.episodes.rescued",
+        aggregate="ratio", op=">=", threshold=0.5, window=240.0,
+        policy=BurnRatePolicy(target=0.99, short_window=60.0,
+                              long_window=300.0, fire_burn=1.0,
+                              resolve_burn=0.5),
+        description="≥50% of terminal reclamation episodes saved in place"))
+    engine.subscribe(lambda a: print(
+        f"[t={tb.sim.now:6.0f}s] alert {a.objective.name}: {a.state}"))
+
+    tb.sim.run(until=1100.0)
+
+    assert engine.alerts, "scenario produced no alert"
+    alert = engine.alerts[0]
+    report = explain(alert, plane.metrics)
+    start, end = report.window
+    print(f"\nalert {alert.objective.name} "
+          f"(pending {alert.pending_at:.0f}s, fired {alert.fired_at:.0f}s, "
+          f"resolved {alert.resolved_at:.0f}s)")
+    print(f"window [{start:.0f}s, {end:.0f}s]: "
+          f"{len(report.exemplars)} exemplars, "
+          f"{len(report.traces)} exemplar traces, "
+          f"{len(report.transitions)} transitions")
+    for trace in report.traces:
+        cp = trace["critical_path"]
+        print(f"  trace {trace['trace_id']} {trace['root']!r} "
+              f"[{trace['status']}] critical path {cp['total']:.1f}s")
+    print(f"transition census: {report.transition_census}")
+
+    stem = out_dir / f"explain-{alert.objective.name}"
+    stem.with_suffix(".json").write_text(report.to_json(),
+                                         encoding="utf-8")
+    stem.with_suffix(".md").write_text(report.to_markdown(),
+                                       encoding="utf-8")
+    dump_dashboard(plane.metrics, out_dir, slo=engine)
+    print(f"\nwrote {stem}.json, {stem}.md and {out_dir}/dashboard.*"
+          f" (drill-down panel included)")
+
+
+if __name__ == "__main__":
+    main()

@@ -294,7 +294,8 @@ class SpotCapacityManager:
             rescued = yield self.rescuer.rescue(market, inst,
                                                 exclude=exclude)
             if timer is not None:
-                timer.stop()
+                with self.metrics.exemplar_scope(span):
+                    timer.stop()
             if rescued:
                 span.event("rescued", to=inst.vm.site)
                 return True
@@ -507,9 +508,13 @@ class SpotCapacityManager:
         # saved in place ("survived"/"closed" are not reclamations).
         if (self.metrics is not None and backing is not None
                 and outcome in ("rescued", "checkpointed", "requeued")):
-            self.metrics.counter("spot.episodes.resolved").inc()
-            if outcome == "rescued":
-                self.metrics.counter("spot.episodes.rescued").inc()
+            # Exemplar-scope the SLO counters: the rescue-rate panels
+            # (and explain(alert)) can then jump from a breach straight
+            # to the episode trace that moved the ratio.
+            with self.metrics.exemplar_scope(backing.span):
+                self.metrics.counter("spot.episodes.resolved").inc()
+                if outcome == "rescued":
+                    self.metrics.counter("spot.episodes.rescued").inc()
 
     @property
     def savings_total(self) -> float:

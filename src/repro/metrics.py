@@ -26,7 +26,8 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from collections import deque
+from typing import Callable, Dict, List, Mapping, NamedTuple, Optional, Tuple
 
 from .network.flows import FlowScheduler
 from .network.topology import DirectedLink
@@ -54,11 +55,30 @@ def recorder_of(sim: Simulator) -> Optional["MetricsRecorder"]:
 
 
 class TimeSeries:
-    """A named sequence of (simulation time, value) samples."""
+    """A named sequence of (simulation time, value) samples.
 
-    def __init__(self, name: str):
+    ``max_points`` turns the series into a bounded ring: once the
+    backing list reaches twice the cap, the oldest samples are evicted
+    in one chunk back down to ``max_points`` (amortized O(1) per
+    record, unlike per-sample ``pop(0)``).  Aggregations then describe
+    the retained tail.  :attr:`dropped` counts evicted samples and
+    :attr:`total` the lifetime count, so cursor-based consumers (the
+    SLO engine) can keep absolute positions across evictions.
+    """
+
+    def __init__(self, name: str, max_points: Optional[int] = None):
+        if max_points is not None and max_points < 1:
+            raise ValueError("max_points must be >= 1")
         self.name = name
         self.samples: List[Tuple[float, float]] = []
+        self.max_points = max_points
+        #: Samples evicted by the ring bound (0 for unbounded series).
+        self.dropped = 0
+
+    @property
+    def total(self) -> int:
+        """Lifetime sample count, evicted ones included."""
+        return self.dropped + len(self.samples)
 
     def record(self, t: float, value) -> None:
         if self.samples and t < self.samples[-1][0]:
@@ -66,6 +86,11 @@ class TimeSeries:
                 f"{self.name!r}: sample at {t} precedes the last one"
             )
         self.samples.append((t, value))
+        if (self.max_points is not None
+                and len(self.samples) >= 2 * self.max_points):
+            excess = len(self.samples) - self.max_points
+            del self.samples[:excess]
+            self.dropped += excess
 
     def times(self) -> List[float]:
         return [t for t, _ in self.samples]
@@ -128,6 +153,20 @@ class TimeSeries:
 
     def __repr__(self):
         return f"<TimeSeries {self.name!r} n={len(self.samples)}>"
+
+
+class Exemplar(NamedTuple):
+    """One sampled observation linked to the trace that produced it —
+    the dashboard's jump from a percentile panel to a concrete trace."""
+
+    time: float
+    value: float
+    trace_id: int
+    span_id: int
+
+    def to_dict(self) -> dict:
+        return {"time": self.time, "value": self.value,
+                "trace_id": self.trace_id, "span_id": self.span_id}
 
 
 class Probe:
@@ -211,8 +250,34 @@ class Probe:
             return
 
 
+class _ExemplarScope:
+    """Re-entrant context manager marking ``span`` as the origin of
+    every sample recorded inside it (see
+    :meth:`MetricsRecorder.exemplar_scope`)."""
+
+    __slots__ = ("_recorder", "_span", "_previous")
+
+    def __init__(self, recorder: "MetricsRecorder", span):
+        self._recorder = recorder
+        self._span = span
+        self._previous = None
+
+    def __enter__(self):
+        self._previous = self._recorder._active_span
+        self._recorder._active_span = self._span
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb):
+        self._recorder._active_span = self._previous
+        return False
+
+
 class MetricsRecorder:
     """A registry of series and probes for one simulation."""
+
+    #: Exemplars retained per series (newest win — deterministic, since
+    #: arrival order is simulation order).
+    EXEMPLARS_PER_SERIES = 8
 
     def __init__(self, sim: Simulator):
         self.sim = sim
@@ -220,6 +285,8 @@ class MetricsRecorder:
         self._probes: List[Probe] = []
         self._instruments: Dict[str, Instrument] = {}
         self._timer_bank: Optional[TimerBank] = None
+        self._exemplars: Dict[str, deque] = {}
+        self._active_span = None
 
     def install(self) -> "MetricsRecorder":
         """Attach this recorder to the simulator so layers without a
@@ -227,11 +294,19 @@ class MetricsRecorder:
         self.sim._metrics = self
         return self
 
-    def series(self, name: str) -> TimeSeries:
-        """Get (or create) a series."""
+    def series(self, name: str,
+               max_points: Optional[int] = None) -> TimeSeries:
+        """Get (or create) a series.  ``max_points`` bounds it as a
+        ring (see :class:`TimeSeries`); on an existing series the bound
+        is (re)applied from the next record."""
         ts = self._series.get(name)
         if ts is None:
-            ts = self._series[name] = TimeSeries(name)
+            ts = self._series[name] = TimeSeries(name,
+                                                 max_points=max_points)
+        elif max_points is not None:
+            if max_points < 1:
+                raise ValueError("max_points must be >= 1")
+            ts.max_points = max_points
         return ts
 
     def get(self, name: str) -> Optional[TimeSeries]:
@@ -240,24 +315,66 @@ class MetricsRecorder:
         return self._series.get(name)
 
     def record(self, name: str, value) -> None:
-        """Record a sample at the current simulation time."""
+        """Record a sample at the current simulation time.  Inside an
+        :meth:`exemplar_scope`, the sample also lands in the series'
+        exemplar reservoir, linked to the active span's trace."""
         self.series(name).record(self.sim.now, value)
+        span = self._active_span
+        if span is not None and span.trace_id is not None:
+            bucket = self._exemplars.get(name)
+            if bucket is None:
+                bucket = self._exemplars[name] = deque(
+                    maxlen=self.EXEMPLARS_PER_SERIES)
+            bucket.append(Exemplar(self.sim.now, value,
+                                   span.trace_id, span.span_id))
+
+    # -- exemplars ------------------------------------------------------
+
+    def exemplar_scope(self, span) -> _ExemplarScope:
+        """Tag every sample recorded inside the ``with`` block with
+        ``span``'s trace identity::
+
+            with metrics.exemplar_scope(span):
+                metrics.counter("spot.episodes.resolved").inc()
+
+        The scope must not contain simulation yields — it marks the
+        synchronous instant where an instrumented operation lands its
+        measurements, so interleaved processes never cross-tag.  Scopes
+        nest (inner span wins); a ``NULL_SPAN`` scope records no
+        exemplars."""
+        return _ExemplarScope(self, span)
+
+    def exemplars(self, name: str) -> List[Exemplar]:
+        """Retained exemplars for series ``name``, oldest first."""
+        return list(self._exemplars.get(name, ()))
+
+    def exemplar_names(self) -> List[str]:
+        return sorted(self._exemplars)
+
+    def exemplars_as_dict(self) -> Dict[str, List[dict]]:
+        """JSON-ready exemplar map (what the dashboard embeds)."""
+        return {name: [e.to_dict() for e in bucket]
+                for name, bucket in sorted(self._exemplars.items())}
 
     def probe(self, name: str, fn: Callable[[], float],
-              interval: float = 1.0, vectorized: bool = False) -> Probe:
+              interval: float = 1.0, vectorized: bool = False,
+              max_points: Optional[int] = None) -> Probe:
         """Start a periodic sampler feeding series ``name``.
 
         ``vectorized=True`` runs the probe on the recorder's shared
         :class:`~repro.simkernel.TimerBank`: a whole probe fleet shares
         one kernel sentinel event per distinct deadline instead of one
         process + timeout each.  Identical samples, far fewer events —
-        opt-in because it changes the raw event-count timeline."""
+        opt-in because it changes the raw event-count timeline.
+        ``max_points`` ring-bounds the backing series (long-running
+        probes are exactly where unbounded growth bites)."""
         bank = None
         if vectorized:
             if self._timer_bank is None:
                 self._timer_bank = TimerBank(self.sim)
             bank = self._timer_bank
-        probe = Probe(self.sim, self.series(name), fn, interval, bank=bank)
+        probe = Probe(self.sim, self.series(name, max_points=max_points),
+                      fn, interval, bank=bank)
         self._probes.append(probe)
         return probe
 

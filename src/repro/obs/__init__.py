@@ -57,7 +57,16 @@ from .instruments import (
     labeled_name,
     split_labeled_name,
 )
+from .query import ExplainReport, alert_window, explain, explain_all
 from .rollup import SeriesStats, health_rollups, rollup, series_stats
+from .sink import (
+    JsonlSpanSink,
+    MemorySpanSink,
+    NullSpanSink,
+    SpanRecord,
+    SpanSink,
+    TraceSampler,
+)
 from .slo import Alert, AlertState, BurnRatePolicy, Objective, SLOEngine
 from .trace import (
     NULL_SPAN,
@@ -78,9 +87,13 @@ __all__ = [
     "Counter",
     "CounterWindow",
     "CriticalPathReport",
+    "ExplainReport",
     "Gauge",
     "Histogram",
+    "JsonlSpanSink",
     "KernelStats",
+    "MemorySpanSink",
+    "NullSpanSink",
     "NULL_PROFILER",
     "NULL_SPAN",
     "NULL_TRACER",
@@ -95,10 +108,16 @@ __all__ = [
     "SlidingWindow",
     "Span",
     "SpanContext",
+    "SpanRecord",
+    "SpanSink",
     "TimeWindow",
+    "TraceSampler",
     "Timer",
     "Tracer",
+    "alert_window",
     "critical_path",
+    "explain",
+    "explain_all",
     "dashboard_payload",
     "dump_chrome_trace",
     "dump_dashboard",

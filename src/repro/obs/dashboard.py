@@ -37,8 +37,18 @@ def dashboard_payload(
     metrics,
     slo=None,
     dimensions: Sequence[str] = DEFAULT_DIMENSIONS,
+    tracer=None,
+    eventlog=None,
 ) -> dict:
-    """The dashboard's data model; every value JSON-serializable."""
+    """The dashboard's data model; every value JSON-serializable.
+
+    With an ``slo`` engine the payload also carries ``exemplars`` (the
+    recorder's trace-linked observations, keyed by series) and a
+    ``drilldown`` panel: one :func:`repro.obs.query.explain` report per
+    recent alert episode, joining exemplar traces, critical paths, and
+    eventlog transitions inside each alert's window.  ``tracer`` /
+    ``eventlog`` default to whatever is installed on the recorder's
+    simulator."""
     from .profile import kernel_stats
 
     payload = {
@@ -49,7 +59,17 @@ def dashboard_payload(
         "rollups": health_rollups(metrics, dimensions),
         "series": flat_series_summary(metrics),
         "kernel": kernel_stats(metrics.sim).to_dict(),
+        "exemplars": (metrics.exemplars_as_dict()
+                      if hasattr(metrics, "exemplars_as_dict") else {}),
+        "drilldown": [],
     }
+    if slo is not None and slo.alerts:
+        from .query import explain_all
+
+        payload["drilldown"] = [
+            report.to_dict()
+            for report in explain_all(slo, metrics, tracer=tracer,
+                                      eventlog=eventlog)]
     return payload
 
 
@@ -188,6 +208,44 @@ def render_html(payload: dict, metrics=None) -> str:
     else:
         parts.append("<p>No alerts.</p>")
 
+    drilldown = payload.get("drilldown") or []
+    if drilldown:
+        parts.append("<h2>Alert drill-down</h2>")
+        for report in drilldown:
+            alert = report["alert"]
+            window = report["window"]
+            parts.append(
+                f"<h3>{html.escape(alert['objective'])} "
+                f"{_badge(alert['state'])} · window "
+                f"[{_fmt(window['start'])}, {_fmt(window['end'])}]</h3>")
+            if report["traces"]:
+                parts.append(
+                    "<table><tr><th class='num'>trace</th><th>root</th>"
+                    "<th>status</th><th class='num'>spans</th>"
+                    "<th>critical path</th></tr>")
+                for trace in report["traces"]:
+                    cp = trace.get("critical_path")
+                    parts.append(
+                        "<tr>"
+                        f"<td class='num'>{_fmt(trace['trace_id'])}</td>"
+                        f"<td><code>{html.escape(trace['root'])}</code></td>"
+                        f"<td>{html.escape(trace['status'])}</td>"
+                        f"<td class='num'>{_fmt(trace['span_count'])}</td>"
+                        f"<td><code>"
+                        + html.escape(cp["format"] if cp else "–")
+                        + "</code></td></tr>")
+                parts.append("</table>")
+            else:
+                parts.append("<p>No exemplar traces retained in the "
+                             "window.</p>")
+            census = report.get("transition_census") or {}
+            if census:
+                parts.append(
+                    "<p>transitions: " + ", ".join(
+                        f"<code>{html.escape(key)}</code>×{count}"
+                        for key, count in sorted(census.items()))
+                    + "</p>")
+
     for dim, groups in payload["rollups"].items():
         parts.append(f"<h2>Health by {html.escape(dim)}</h2>")
         parts.append(
@@ -208,11 +266,12 @@ def render_html(payload: dict, metrics=None) -> str:
                     f"<td class='num'>{_fmt(stats['last'])}</td></tr>")
         parts.append("</table>")
 
+    exemplars = payload.get("exemplars") or {}
     parts.append("<h2>All series</h2>")
     parts.append(
         "<table><tr><th>series</th><th class='num'>count</th>"
         "<th class='num'>mean</th><th class='num'>p99</th>"
-        "<th class='num'>last</th><th>trend</th></tr>")
+        "<th class='num'>last</th><th>trend</th><th>exemplars</th></tr>")
     for row in payload["series"]:
         spark = ""
         if metrics is not None:
@@ -222,6 +281,12 @@ def render_html(payload: dict, metrics=None) -> str:
                     spark = _sparkline(ts.samples)
                 except (TypeError, ValueError):
                     spark = ""
+        linked = exemplars.get(row["name"]) or []
+        exemplar_cell = ""
+        if linked:
+            newest = linked[-1]
+            exemplar_cell = (f"{len(linked)} · trace "
+                             f"<code>{_fmt(newest['trace_id'])}</code>")
         parts.append(
             "<tr>"
             f"<td><code>{html.escape(row['name'])}</code></td>"
@@ -229,17 +294,20 @@ def render_html(payload: dict, metrics=None) -> str:
             f"<td class='num'>{_fmt(row['mean'])}</td>"
             f"<td class='num'>{_fmt(row['p99'])}</td>"
             f"<td class='num'>{_fmt(row['last'])}</td>"
-            f"<td>{spark}</td></tr>")
+            f"<td>{spark}</td>"
+            f"<td>{exemplar_cell}</td></tr>")
     parts.append("</table></body></html>")
     return "".join(parts)
 
 
 def dump_dashboard(metrics, directory, slo=None,
                    dimensions: Sequence[str] = DEFAULT_DIMENSIONS,
-                   basename: str = "dashboard") -> dict:
+                   basename: str = "dashboard", tracer=None,
+                   eventlog=None) -> dict:
     """Write ``<basename>.json`` and ``<basename>.html`` under
     ``directory`` (created if missing); returns the payload."""
-    payload = dashboard_payload(metrics, slo=slo, dimensions=dimensions)
+    payload = dashboard_payload(metrics, slo=slo, dimensions=dimensions,
+                                tracer=tracer, eventlog=eventlog)
     os.makedirs(directory, exist_ok=True)
     json_path = os.path.join(directory, f"{basename}.json")
     with open(json_path, "w", encoding="utf-8") as fh:

@@ -42,35 +42,79 @@ __all__ = [
 Sink = Optional[Callable[[float], None]]
 
 
+#: Characters with structural meaning inside a ``name{k=v,...}`` body;
+#: they are backslash-escaped in values and forbidden in keys.
+_LABEL_SPECIALS = "\\,=}{"
+
+
+def _escape_label_value(value: str) -> str:
+    if not any(ch in _LABEL_SPECIALS for ch in value):
+        return value  # the overwhelmingly common case: no copy
+    return "".join(f"\\{ch}" if ch in _LABEL_SPECIALS else ch
+                   for ch in value)
+
+
 def labeled_name(base: str, labels: Optional[Mapping[str, object]]) -> str:
     """Canonical series name for ``base`` + ``labels``.
 
     Keys are sorted so every call site producing the same label set hits
-    the same series; values are stringified.  ``labels=None`` / ``{}``
+    the same series; values are stringified, with the grammar's
+    structural characters (``\\ , = { }``) backslash-escaped so any
+    value round-trips through :func:`split_labeled_name`.  Keys must be
+    free of structural characters — a tag *dimension* containing ``=``
+    is a bug at the call site, not data.  ``labels=None`` / ``{}``
     returns ``base`` unchanged.
     """
     if not labels:
         return base
     if "{" in base:
         raise ValueError(f"base name {base!r} already carries labels")
-    body = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    for key in labels:
+        if not key or any(ch in _LABEL_SPECIALS for ch in key):
+            raise ValueError(
+                f"label key {key!r} is empty or contains one of "
+                f"{_LABEL_SPECIALS!r}")
+    body = ",".join(f"{k}={_escape_label_value(str(labels[k]))}"
+                    for k in sorted(labels))
     return f"{base}{{{body}}}"
 
 
 def split_labeled_name(name: str) -> Tuple[str, Dict[str, str]]:
     """Inverse of :func:`labeled_name`: ``(base, labels)``.
 
-    Unlabeled names come back with an empty dict.
+    Backslash escapes in values are undone; an unescaped ``=`` inside a
+    value (legacy names written before escaping existed) is kept as
+    data, matching the old first-``=``-wins parse.  Unlabeled or
+    malformed names come back with an empty dict.
     """
     if not name.endswith("}") or "{" not in name:
         return name, {}
     base, _, body = name[:-1].partition("{")
     labels: Dict[str, str] = {}
-    for part in body.split(","):
-        key, sep, value = part.partition("=")
-        if not sep or not key:
-            return name, {}  # brace-bearing but not our label grammar
-        labels[key] = value
+    key: List[str] = []
+    value: List[str] = []
+    target, in_value = key, False
+    i, n = 0, len(body)
+    while i < n:
+        ch = body[i]
+        if ch == "\\" and i + 1 < n:
+            target.append(body[i + 1])
+            i += 2
+            continue
+        if ch == "=" and not in_value:
+            target, in_value = value, True
+        elif ch == ",":
+            if not in_value or not key:
+                return name, {}  # brace-bearing but not our grammar
+            labels["".join(key)] = "".join(value)
+            key, value = [], []
+            target, in_value = key, False
+        else:
+            target.append(ch)
+        i += 1
+    if not in_value or not key:
+        return name, {}
+    labels["".join(key)] = "".join(value)
     return base, labels
 
 

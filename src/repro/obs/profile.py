@@ -471,7 +471,8 @@ def kernel_stats(sim, occupancy: bool = False) -> KernelStats:
 
 
 def install_kernel_gauges(sim, metrics, interval: float = 1.0,
-                          vectorized: bool = False) -> list:
+                          vectorized: bool = False,
+                          max_points: Optional[int] = None) -> list:
     """Stream kernel health into watchtower as labeled series.
 
     Starts periodic probes (every ``interval`` simulated seconds)
@@ -480,7 +481,9 @@ def install_kernel_gauges(sim, metrics, interval: float = 1.0,
     ``kernel.events.dispatched``, ``kernel.batch.max``,
     ``kernel.preemptions`` and ``kernel.timerbank.pending`` — the same
     signals :func:`kernel_stats` snapshots, but as dashboard/SLO-ready
-    time series.  Returns the probes (stop them to quiesce)."""
+    time series.  ``max_points`` ring-bounds each backing series so
+    week-long runs do not grow them without limit.  Returns the probes
+    (stop them to quiesce)."""
     queue = sim.queue_backend
     labels = {"backend": getattr(queue, "name", type(queue).__name__)}
 
@@ -507,7 +510,7 @@ def install_kernel_gauges(sim, metrics, interval: float = 1.0,
         ("kernel.timerbank.pending", timers_pending),
     ]
     return [metrics.probe(labeled_name(name, labels), fn, interval,
-                          vectorized=vectorized)
+                          vectorized=vectorized, max_points=max_points)
             for name, fn in samplers]
 
 

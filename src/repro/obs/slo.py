@@ -201,9 +201,13 @@ class _ObjectiveState:
         else:
             ts = metrics.get(obj.series)
             if ts is not None:
-                for t, v in ts.samples[self.cursor:]:
+                # Cursors are *lifetime* positions: ring-bounded series
+                # evict old samples, so translate through ts.dropped
+                # (evictions past the cursor are simply unseen).
+                start = max(0, self.cursor - ts.dropped)
+                for t, v in ts.samples[start:]:
                     self.values.observe(t, float(v))
-                self.cursor = len(ts.samples)
+                self.cursor = ts.dropped + len(ts.samples)
             self.values.trim(horizon)
 
     @staticmethod
@@ -211,9 +215,9 @@ class _ObjectiveState:
         ts = metrics.get(name)
         if ts is None:
             return cursor
-        for t, v in ts.samples[cursor:]:
+        for t, v in ts.samples[max(0, cursor - ts.dropped):]:
             window.observe(t, float(v))
-        return len(ts.samples)
+        return ts.dropped + len(ts.samples)
 
     # -- evaluate ------------------------------------------------------
 
@@ -370,6 +374,7 @@ class SLOEngine:
             span.event(AlertState.PENDING, value=state.value)
             state.alert = alert
             self.alerts.append(alert)
+            self._pin_exemplars(obj)
             self._announce(alert)
             return alert
 
@@ -390,6 +395,7 @@ class SLOEngine:
                 alert.span.event(AlertState.FIRING, value=state.value,
                                  burn_short=state.burn_short,
                                  burn_long=state.burn_long)
+                self._pin_exemplars(obj)
                 self._announce(alert)
                 return alert
             return None
@@ -406,6 +412,21 @@ class SLOEngine:
             self._announce(alert)
             return alert
         return None
+
+    def _pin_exemplars(self, objective: Objective) -> None:
+        """Guarantee retention of the traces behind the alerting
+        series' exemplars: a sampling tracer would otherwise be free to
+        drop exactly the traces :func:`repro.obs.query.explain` needs.
+        No-op without a sampler or without exemplar support."""
+        sampler = getattr(self.tracer, "sampler", None)
+        exemplars = getattr(self.metrics, "exemplars", None)
+        if sampler is None or exemplars is None:
+            return
+        for series in (objective.series, objective.good_series):
+            if series is None:
+                continue
+            for exemplar in exemplars(series):
+                sampler.pin(exemplar.trace_id)
 
     def _announce(self, alert: Alert) -> None:
         name = alert.objective.name

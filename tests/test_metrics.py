@@ -317,3 +317,72 @@ def test_recorder_labeled_factories_share_canonical_series():
     assert a is b  # key order canonicalized
     a.inc()
     assert metrics.get("spot.reclaims{cloud=east,tenant=acme}").last() == 1.0
+
+
+# -- PR 10 satellite: ring-buffered series ------------------------------
+
+
+def test_timeseries_max_points_bounds_growth():
+    ts = TimeSeries("g", max_points=100)
+    for i in range(1000):
+        ts.record(float(i), float(i))
+    # Chunked eviction: retained length stays within [max, 2*max).
+    assert 100 <= len(ts.samples) < 200
+    assert ts.total == 1000
+    assert ts.dropped == 1000 - len(ts.samples)
+    # The retained tail is the newest samples, contiguous.
+    assert ts.samples[-1] == (999.0, 999.0)
+    times = ts.times()
+    assert times == sorted(times)
+    assert times[0] == 1000.0 - len(ts.samples)
+
+
+def test_timeseries_unbounded_by_default():
+    ts = TimeSeries("g")
+    for i in range(10):
+        ts.record(float(i), 1.0)
+    assert ts.max_points is None
+    assert ts.dropped == 0 and ts.total == 10
+
+
+def test_timeseries_max_points_validation():
+    with pytest.raises(ValueError):
+        TimeSeries("g", max_points=0)
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        MetricsRecorder(sim).series("g", max_points=-1)
+
+
+def test_recorder_series_applies_max_points():
+    sim = Simulator()
+    metrics = MetricsRecorder(sim)
+    ts = metrics.series("bounded", max_points=10)
+    assert ts.max_points == 10
+    # Re-request without the bound keeps it; with a bound, re-applies.
+    assert metrics.series("bounded").max_points == 10
+    assert metrics.series("bounded", max_points=5).max_points == 5
+
+
+def test_bounded_probe_stops_growing():
+    sim = Simulator()
+    metrics = MetricsRecorder(sim)
+    metrics.probe("depth", lambda: 1.0, interval=1.0, max_points=16)
+    sim.run(until=500.0)
+    ts = metrics.get("depth")
+    assert ts.total == 499  # samples at t=1..499
+    assert len(ts.samples) < 32
+
+
+def test_kernel_gauges_accept_max_points():
+    from repro.obs import install_kernel_gauges
+
+    sim = Simulator()
+    metrics = MetricsRecorder(sim)
+    probes = install_kernel_gauges(sim, metrics, interval=1.0,
+                                   max_points=8)
+    sim.run(until=100.0)
+    for probe in probes:
+        assert len(probe.series.samples) < 16
+        assert probe.series.total == 99  # samples at t=1..99
+    for probe in probes:
+        probe.stop()

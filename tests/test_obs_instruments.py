@@ -208,3 +208,54 @@ def test_timer_exception_propagates():
         with t.time(sim):
             raise RuntimeError("boom")
     assert timer.count == 0
+
+
+# -- PR 10 satellite: label values round-trip through the grammar --------
+
+
+def test_label_values_with_structural_chars_roundtrip():
+    from repro.obs import labeled_name, split_labeled_name
+
+    hostile = {
+        "query": "a=b,c=d",
+        "path": "x{y}z",
+        "slash": "a\\b",
+        "plain": "ok",
+    }
+    name = labeled_name("op", hostile)
+    base, labels = split_labeled_name(name)
+    assert base == "op"
+    assert labels == {k: str(v) for k, v in hostile.items()}
+
+
+def test_label_value_with_equals_no_longer_corrupts_neighbors():
+    from repro.obs import labeled_name, split_labeled_name
+
+    # The pre-escaping encoding parsed "v=1,extra" as two labels.
+    name = labeled_name("m", {"a": "v=1,extra", "b": "2"})
+    assert split_labeled_name(name) == ("m", {"a": "v=1,extra", "b": "2"})
+
+
+def test_label_keys_reject_structural_chars():
+    from repro.obs import labeled_name
+
+    for bad in ("a=b", "a,b", "a}b", "a{b", "a\\b", ""):
+        with pytest.raises(ValueError):
+            labeled_name("m", {bad: "v"})
+
+
+def test_legacy_unescaped_names_still_parse():
+    from repro.obs import split_labeled_name
+
+    # Names minted before escaping existed: first '=' wins, the rest
+    # of the part is the value.
+    assert split_labeled_name("m{k=a=b}") == ("m", {"k": "a=b"})
+    assert split_labeled_name("m{not-a-label}") == ("m{not-a-label}", {})
+    assert split_labeled_name("m{=v}") == ("m{=v}", {})
+
+
+def test_failed_name_preserves_escaped_labels():
+    from repro.obs.instruments import failed_name
+
+    assert (failed_name("op{k=a\\,b}")
+            == "op.failed{k=a\\,b}")

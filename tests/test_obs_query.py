@@ -1,0 +1,177 @@
+"""Cross-signal explain(alert): exemplars → traces → eventlog → kernel.
+
+Reuses the flagship SLO-breach scenario from ``test_obs_slo`` (spot
+price spike, rescue disabled, rescue-rate objective collapses to 0) and
+asserts the assembled report joins all four signal families inside the
+alert window.
+"""
+
+import json
+
+import pytest
+
+from repro.metrics import Exemplar, MetricsRecorder
+from repro.obs import (
+    SLOEngine,
+    Tracer,
+    alert_window,
+    dashboard_payload,
+    explain,
+    explain_all,
+    render_html,
+)
+from repro.simkernel import Simulator
+
+from tests.test_obs_slo import (
+    EVAL_INTERVAL,
+    RESOLVE_EPISODES_AT,
+    _rescue_objective,
+    _spiking_plane,
+)
+
+
+@pytest.fixture(scope="module")
+def breach():
+    tb, plane, jobs = _spiking_plane()
+    engine = SLOEngine(tb.sim, plane.metrics,
+                       interval=EVAL_INTERVAL).start()
+    engine.add(_rescue_objective())
+    tb.sim.run(until=1100.0)
+    assert len(engine.alerts) == 1
+    return tb, plane, engine
+
+
+class TestExplainOnBreach:
+
+    def test_window_covers_the_breaching_episodes(self, breach):
+        tb, plane, engine = breach
+        alert = engine.alerts[0]
+        start, end = alert_window(alert, now=tb.sim.now)
+        assert start == alert.pending_at - alert.objective.window
+        assert end == alert.resolved_at
+        assert start <= RESOLVE_EPISODES_AT <= end
+
+    def test_report_joins_all_signals(self, breach):
+        tb, plane, engine = breach
+        report = explain(engine.alerts[0], plane.metrics)
+        # ≥1 exemplar trace, each with a critical path inside the window.
+        assert report.exemplars
+        assert report.traces
+        start, end = report.window
+        for trace in report.traces:
+            assert trace["critical_path"] is not None
+            assert start <= trace["start"] <= trace["end"] <= end
+            assert trace["root"].startswith("spot-reclaim:")
+            assert trace["critical_path"]["total"] == (
+                trace["end"] - trace["start"])
+        # Eventlog transitions inside the window include the requeues
+        # that sank the rescue rate.
+        assert report.transition_census.get("spot:requeued", 0) >= 3
+        assert all(start <= t["time"] <= end for t in report.transitions)
+        # Kernel snapshot present.
+        assert "queue_depth" in report.kernel
+
+    def test_report_serializes(self, breach):
+        tb, plane, engine = breach
+        report = explain(engine.alerts[0], plane.metrics)
+        doc = json.loads(report.to_json())
+        assert doc["schema"] == "repro.explain/1"
+        assert doc["alert"]["objective"] == "spot-rescue-rate"
+        assert doc["traces"] and doc["transition_census"]
+        md = report.to_markdown()
+        assert "# Explain: alert `spot-rescue-rate`" in md
+        assert "spot-reclaim:" in md
+        assert "spot:requeued" in md
+
+    def test_dashboard_payload_exposes_drilldown(self, breach):
+        tb, plane, engine = breach
+        payload = dashboard_payload(plane.metrics, slo=engine)
+        assert payload["drilldown"], "drill-down panel missing"
+        panel = payload["drilldown"][0]
+        assert panel["alert"]["objective"] == "spot-rescue-rate"
+        assert panel["traces"]
+        assert payload["exemplars"].get("spot.episodes.resolved")
+        json.dumps(payload)  # JSON-ready end to end
+        html = render_html(payload, metrics=plane.metrics)
+        assert "Alert drill-down" in html
+        assert "spot-reclaim:" in html
+
+    def test_explain_all_caps_episodes(self, breach):
+        tb, plane, engine = breach
+        reports = explain_all(engine, plane.metrics, max_alerts=5)
+        assert len(reports) == 1
+        assert reports[0].alert is engine.alerts[0]
+
+
+class TestExplainPlumbing:
+
+    def test_window_for_open_alert_uses_now(self):
+        from repro.obs import Alert, AlertState, Objective
+
+        alert = Alert(objective=Objective(name="o", series="s",
+                                          threshold=1.0, window=100.0),
+                      state=AlertState.FIRING, pending_at=450.0)
+        assert alert_window(alert, now=500.0) == (350.0, 500.0)
+        # Falls back to pending_at when resolution and now are unknown.
+        assert alert_window(alert) == (350.0, 450.0)
+
+    def test_exemplar_scope_tags_samples(self):
+        sim = Simulator()
+        metrics = MetricsRecorder(sim)
+        tracer = Tracer(sim).install()
+        span = tracer.start("op")
+        metrics.record("untagged", 1.0)
+        with metrics.exemplar_scope(span):
+            metrics.record("tagged", 2.0)
+            metrics.counter("tagged.count").inc()
+        metrics.record("tagged", 3.0)  # outside the scope
+        assert metrics.exemplars("untagged") == []
+        tagged = metrics.exemplars("tagged")
+        assert tagged == [Exemplar(0.0, 2.0, span.trace_id, span.span_id)]
+        assert metrics.exemplars("tagged.count")[0].trace_id == span.trace_id
+        assert metrics.exemplar_names() == ["tagged", "tagged.count"]
+
+    def test_exemplar_scope_nests_and_ignores_null_span(self):
+        from repro.obs import NULL_SPAN
+
+        sim = Simulator()
+        metrics = MetricsRecorder(sim)
+        tracer = Tracer(sim)
+        outer, inner = tracer.start("outer"), tracer.start("inner")
+        with metrics.exemplar_scope(outer):
+            with metrics.exemplar_scope(inner):
+                metrics.record("x", 1.0)
+            metrics.record("x", 2.0)
+        with metrics.exemplar_scope(NULL_SPAN):
+            metrics.record("y", 1.0)
+        xs = metrics.exemplars("x")
+        assert [e.span_id for e in xs] == [inner.span_id, outer.span_id]
+        assert metrics.exemplars("y") == []
+
+    def test_exemplar_reservoir_keeps_newest(self):
+        sim = Simulator()
+        metrics = MetricsRecorder(sim)
+        tracer = Tracer(sim)
+        cap = MetricsRecorder.EXEMPLARS_PER_SERIES
+        for i in range(cap + 4):
+            sim._now = float(i)
+            with metrics.exemplar_scope(tracer.start(f"op{i}")):
+                metrics.record("z", float(i))
+        kept = metrics.exemplars("z")
+        assert len(kept) == cap
+        assert kept[-1].value == float(cap + 3)
+        assert kept[0].value == 4.0
+
+    def test_explain_without_exemplars_degrades_gracefully(self):
+        from repro.obs import Alert, AlertState, Objective
+
+        sim = Simulator()
+        metrics = MetricsRecorder(sim)
+        alert = Alert(objective=Objective(name="o", series="missing",
+                                          threshold=1.0, window=10.0),
+                      state=AlertState.PENDING, pending_at=5.0)
+        report = explain(alert, metrics)
+        assert report.traces == []
+        assert report.exemplars == []
+        assert report.transition_census == {}
+        assert "No exemplar traces retained" in report.to_markdown()

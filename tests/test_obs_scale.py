@@ -1,0 +1,323 @@
+"""Telemetry at scale: streaming sink, tail sampling, bounded memory.
+
+The contracts under test are the ones a million-job run leans on:
+
+* the tracer's resident working set never exceeds ``max_resident``
+  plus the spans still open/pending, regardless of run length;
+* the sampled span archive is **byte-identical** across same-seed runs
+  and across kernel queue backends;
+* exports built from a streaming/sampled tracer stay structurally
+  valid (Chrome-trace flow links never dangle, speedscope validates);
+* critical-path analysis over the archive (frozen ``SpanRecord``
+  read-back) equals analysis over live spans.
+"""
+
+import json
+
+import pytest
+
+from repro.network.topology import Site, Topology
+from repro.network.flows import FlowScheduler
+from repro.obs import (
+    JsonlSpanSink,
+    MemorySpanSink,
+    NullSpanSink,
+    TraceSampler,
+    Tracer,
+    critical_path,
+    to_chrome_trace,
+    to_speedscope,
+    validate_speedscope,
+)
+from repro.obs.sink import _mix64
+from repro.simkernel import Simulator
+
+
+def _drive_spans(tracer, sim, n_traces, error_every=997, spike_every=499):
+    """Deterministic two-span traces with a spread of durations, a few
+    latency spikes, and a few errors — no kernel events, so a million
+    spans stay cheap to generate."""
+    for i in range(n_traces):
+        sim._now = float(i)
+        root = tracer.start("job", tenant=f"t{i % 5}")
+        child = tracer.start("work", parent=root)
+        duration = 0.1 + (i * 2654435761 % 1000) / 2000.0
+        if i % spike_every == 0:
+            duration += 5.0
+        sim._now = float(i) + duration
+        child.end()
+        root.end("error" if i % error_every == 0 else None)
+
+
+# ---------------------------------------------------------------------------
+# Memory bound
+# ---------------------------------------------------------------------------
+
+def test_million_span_run_respects_resident_ceiling():
+    sim = Simulator()
+    sink = NullSpanSink()
+    tracer = Tracer(sim, sink=sink,
+                    sampler=TraceSampler(keep_fraction=0.01, seed=9),
+                    max_resident=1024).install()
+    n_traces = 500_000  # 1M spans
+    checkpoints = 0
+    for lo in range(0, n_traces, 50_000):
+        for i in range(lo, lo + 50_000):
+            sim._now = float(i)
+            root = tracer.start("job")
+            child = tracer.start("work", parent=root)
+            duration = 0.1 + (i * 2654435761 % 1000) / 2000.0
+            sim._now = float(i) + duration
+            child.end()
+            root.end()
+        assert tracer.resident_count() <= 1024
+        checkpoints += 1
+    assert checkpoints == 10
+    stats = tracer.stats()
+    assert stats["started"] == 1_000_000
+    assert stats["resident_peak"] <= 1024
+    # Conservation: every span was archived, resident, or dropped.
+    assert (stats["archived"] + stats["resident"]
+            + stats["dropped_spans"]) == 1_000_000
+    # Sampling actually sampled: the archive is a small fraction.
+    assert stats["archived"] < 100_000
+    assert stats["dropped_traces"] > 400_000
+
+
+def test_resident_ring_overflows_oldest_to_sink_in_order():
+    sim = Simulator()
+    sink = MemorySpanSink()
+    tracer = Tracer(sim, sink=sink, max_resident=4)
+    _drive_spans(tracer, sim, 10)
+    assert len(tracer._resident) == 4
+    assert sink.count == 16
+    # Archive order: trace finish order, finish order within a trace.
+    names = [r.name for r in sink.read_back()]
+    assert names[:2] == ["work", "job"]
+    starts = [r.start for r in sink.read_back() if r.name == "job"]
+    assert starts == sorted(starts)
+
+
+def test_max_resident_requires_sink():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Tracer(sim, max_resident=16)
+    with pytest.raises(ValueError):
+        Tracer(sim, sink=NullSpanSink(), max_resident=0)
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------------
+
+def _sampled_run(path, n_traces=5000):
+    sim = Simulator()
+    sink = JsonlSpanSink(path)
+    tracer = Tracer(sim, sink=sink,
+                    sampler=TraceSampler(keep_fraction=0.05, seed=11),
+                    max_resident=64).install()
+    _drive_spans(tracer, sim, n_traces)
+    tracer.flush()
+    sink.close()
+    return tracer
+
+
+def test_same_seed_sampled_logs_byte_identical(tmp_path):
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    tr1 = _sampled_run(a)
+    tr2 = _sampled_run(b)
+    assert a.read_bytes() == b.read_bytes()
+    assert len(a.read_bytes()) > 0
+    assert tr1.stats() == tr2.stats()
+    # The sampler kept each class at least once.
+    reasons = tr1.sampler.kept
+    assert reasons["error"] > 0
+    assert reasons["slow"] > 0
+    assert reasons["hash"] > 0
+
+
+def _traced_flow_run(backend, tmp_path, name):
+    """A real kernel scenario (flows over a shared topology) with a
+    sampling, streaming tracer."""
+    sim = Simulator(queue=backend)
+    sink = JsonlSpanSink(tmp_path / name)
+    tracer = Tracer(sim, seed=1, sink=sink,
+                    sampler=TraceSampler(keep_fraction=1.0, seed=5),
+                    max_resident=8).install()
+    topo = Topology()
+    for site in ("a", "b", "c"):
+        topo.add_site(Site(site))
+    topo.connect("a", "b", bandwidth=1e6, latency=0.01)
+    topo.connect("b", "c", bandwidth=5e5, latency=0.02)
+    sched = FlowScheduler(sim, topo)
+    from repro.network.transport import Transport
+    transport = Transport.of(sched)
+
+    def driver():
+        for round_no in range(20):
+            root = tracer.start("round", no=round_no)
+            f1 = transport.data("a", "b", 2e5 + round_no * 1e3, span=root)
+            f2 = transport.data("a", "c", 3e5, span=root)
+            yield f1.done & f2.done
+            root.end()
+            yield sim.timeout(0.05)
+
+    sim.process(driver())
+    sim.run()
+    tracer.flush()
+    sink.close()
+    return (tmp_path / name).read_bytes()
+
+
+def test_sampled_logs_byte_identical_across_queue_backends(tmp_path):
+    heap = _traced_flow_run("heap", tmp_path, "heap.jsonl")
+    calendar = _traced_flow_run("calendar", tmp_path, "calendar.jsonl")
+    assert heap == calendar
+    assert len(heap.splitlines()) >= 20
+
+
+def test_critical_path_identical_streaming_vs_classic():
+    def run(streaming):
+        sim = Simulator()
+        if streaming:
+            tracer = Tracer(sim, sink=MemorySpanSink(), max_resident=4)
+        else:
+            tracer = Tracer(sim)
+        _drive_spans(tracer, sim, 200)
+        return tracer
+
+    classic = critical_path(run(False))
+    streamed = critical_path(run(True))
+    # Same root, same totals, same attribution — even though the
+    # streaming analysis mostly walked frozen SpanRecords.
+    assert streamed.total == classic.total
+    assert streamed.by_name() == classic.by_name()
+    assert streamed.root.span_id == classic.root.span_id
+
+
+def test_hash_sampling_fraction_is_roughly_kept():
+    fraction = 0.01
+    ceiling = int(fraction * 2 ** 64)
+    kept = sum(1 for i in range(200_000)
+               if _mix64(i ^ (7 * 0x9E3779B97F4A7C15)) < ceiling)
+    assert 0.005 < kept / 200_000 < 0.02
+
+
+# ---------------------------------------------------------------------------
+# Export invariants over sampled runs
+# ---------------------------------------------------------------------------
+
+def _linked_sampled_tracer():
+    """A sampled run whose traces link across one another, so dropped
+    traces would dangle if the exporter let them."""
+    sim = Simulator()
+    tracer = Tracer(sim, sink=MemorySpanSink(),
+                    sampler=TraceSampler(keep_fraction=0.1, seed=3,
+                                         slow_percentile=None),
+                    max_resident=16)
+    previous = None
+    for i in range(500):
+        sim._now = float(i)
+        root = tracer.start("job", links=[previous] if previous else ())
+        sim._now = float(i) + 0.25 + (i % 13) / 20.0
+        root.end("error" if i % 101 == 0 else None)
+        previous = root
+    tracer.flush()
+    return tracer
+
+
+def test_chrome_trace_of_sampled_run_links_only_retained_spans():
+    tracer = _linked_sampled_tracer()
+    retained = {s.span_id for s in tracer.iter_spans()}
+    assert 0 < len(retained) < 500  # genuinely sampled
+    doc = to_chrome_trace(tracer.iter_spans())
+    events = doc["traceEvents"]
+    assert events and all(
+        {"ph", "pid", "tid", "ts"} <= set(e) for e in events)
+    flows = [e for e in events if e["ph"] in ("s", "f")]
+    # Flow events pair up 1:1 ...
+    by_id = {}
+    for e in flows:
+        by_id.setdefault(e["id"], []).append(e["ph"])
+    assert all(sorted(phs) == ["f", "s"] for phs in by_id.values())
+    # ... and every link *to* a dropped span was suppressed: flow
+    # count == count of retained links with a retained source.
+    expected = sum(1 for s in tracer.iter_spans()
+                   for src in s.links if src in retained)
+    assert len(flows) == 2 * expected
+    # json round-trip (what Perfetto actually loads)
+    assert json.loads(json.dumps(doc))["traceEvents"]
+
+
+def test_speedscope_from_streaming_sink_validates():
+    sim = Simulator()
+    tracer = Tracer(sim, sink=MemorySpanSink(), max_resident=2)
+    sim._now = 0.0
+    root = tracer.start("run")
+    for i in range(6):
+        sim._now = float(i)
+        child = tracer.start(f"phase-{i % 2}", parent=root)
+        sim._now = float(i) + 0.8
+        child.end()
+    sim._now = 6.0
+    root.end()
+    tracer.flush()
+    assert tracer.resident_count() <= 2
+    doc = to_speedscope(tracer=tracer, name="scale")
+    validate_speedscope(doc)
+    evented = [p for p in doc["profiles"] if p["type"] == "evented"]
+    assert evented and evented[0]["endValue"] == 6.0
+
+
+# ---------------------------------------------------------------------------
+# Sampler semantics
+# ---------------------------------------------------------------------------
+
+def test_sampler_always_keeps_errors_and_pins():
+    sim = Simulator()
+    sampler = TraceSampler(keep_fraction=0.0, seed=1,
+                           slow_percentile=None)
+    tracer = Tracer(sim, sink=MemorySpanSink(), sampler=sampler,
+                    max_resident=4)
+    sim._now = 0.0
+    ok = tracer.start("ok-job")
+    err = tracer.start("bad-job")
+    pinned = tracer.start("pinned-job")
+    sampler.pin(pinned.trace_id)
+    sim._now = 1.0
+    ok.end()
+    err.end("error")
+    pinned.end()
+    tracer.flush()
+    names = {r.name for r in tracer.iter_spans()}
+    assert names == {"bad-job", "pinned-job"}
+    assert sampler.kept["error"] == 1
+    assert sampler.kept["pinned"] == 1
+    assert sampler.dropped == 1
+
+
+def test_late_children_follow_their_trace_decision():
+    sim = Simulator()
+    sampler = TraceSampler(keep_fraction=0.0, seed=1,
+                           slow_percentile=None)
+    tracer = Tracer(sim, sink=MemorySpanSink(), sampler=sampler,
+                    max_resident=8)
+    sim._now = 0.0
+    kept_root = tracer.start("kept")
+    sampler.pin(kept_root.trace_id)
+    dropped_root = tracer.start("dropped")
+    straggler_kept = tracer.start("tail", parent=kept_root)
+    straggler_dropped = tracer.start("tail", parent=dropped_root)
+    sim._now = 1.0
+    kept_root.end()
+    dropped_root.end()
+    sim._now = 2.0  # children outlive their roots
+    straggler_kept.end()
+    straggler_dropped.end()
+    tracer.flush()
+    spans = list(tracer.iter_spans())
+    assert {s.name for s in spans} == {"kept", "tail"}
+    assert all(s.trace_id == kept_root.trace_id for s in spans)
+    assert tracer.dropped_spans == 2
+    # Decided traces with no open spans are evicted from the buffer.
+    assert tracer._by_trace == {}
